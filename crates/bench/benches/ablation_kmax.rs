@@ -1,0 +1,52 @@
+//! Ablation: the coarse `Kmax` (the paper fixes it at 3 — what happens
+//! at 1..6?). Prints, per `Kmax`: the number of points actually chosen,
+//! the functional share, the CPI deviation, and the speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_core::prelude::*;
+use mlpa_sim::MachineConfig;
+use mlpa_workloads::{suite, CompiledBenchmark};
+use std::hint::black_box;
+
+fn bench_ablation_kmax(c: &mut Criterion) {
+    let spec = suite::benchmark_with_iters("gzip", 2).expect("gzip").scaled(0.5);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let config = MachineConfig::table1_base();
+    let truth = ground_truth(&cb, &config).estimate();
+    let baseline = simpoint_baseline(
+        &cb,
+        FINE_INTERVAL,
+        &SimPointConfig::fine_10m(),
+        &ProjectionSettings::default(),
+    )
+    .expect("baseline");
+    let model = CostModel::paper_implied();
+
+    let mut group = c.benchmark_group("ablation_kmax");
+    group.sample_size(10);
+    group.bench_function("coasts_kmax3_gzip", |b| {
+        b.iter(|| coasts(black_box(&cb), &CoastsConfig::default()).expect("runs"));
+    });
+    group.finish();
+
+    println!("\nAblation: coarse Kmax sweep (gzip, reduced size; paper default Kmax = 3)");
+    println!("{:>5} {:>7} {:>11} {:>9} {:>9}", "Kmax", "points", "functional%", "dCPI%", "speedup");
+    for k_max in 1..=6 {
+        let mut cfg = CoastsConfig::default();
+        cfg.selection.k_max = k_max;
+        let out = coasts(&cb, &cfg).expect("coasts runs");
+        let est = execute_plan(&cb, &config, &out.plan, WarmupMode::Warmed).estimate;
+        let dev = est.deviation_from(&truth);
+        println!(
+            "{:>5} {:>7} {:>10.2}% {:>8.2}% {:>8.2}x",
+            k_max,
+            out.plan.len(),
+            out.plan.functional_fraction() * 100.0,
+            dev.cpi * 100.0,
+            model.speedup(&baseline.plan, &out.plan)
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablation_kmax);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation: the phase metric. The paper (§II, §IV-A) chooses BBVs,
+//! citing Dhodapkar & Smith (BBV beats working-set signatures) and Lau
+//! et al. (loop frequency vectors nearly match BBV with fewer phases).
+//! This bench runs all three metrics through the identical selection
+//! pipeline and compares phase counts and CPI accuracy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_core::pipeline::plan_from_points;
+use mlpa_core::prelude::*;
+use mlpa_phase::interval::FixedLengthProfiler;
+use mlpa_phase::lfv::LfvProfiler;
+use mlpa_phase::simpoint::select;
+use mlpa_phase::wss::WssProfiler;
+use mlpa_phase::Interval;
+use mlpa_sim::{FunctionalSim, MachineConfig};
+use mlpa_workloads::{suite, CompiledBenchmark, WorkloadStream};
+use std::hint::black_box;
+
+fn profile_bbv(cb: &CompiledBenchmark) -> Vec<Interval> {
+    let proj = ProjectionSettings::default().build(cb);
+    let mut prof = FixedLengthProfiler::new(&proj, FINE_INTERVAL);
+    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut prof);
+    prof.finish()
+}
+
+fn profile_lfv(cb: &CompiledBenchmark) -> Vec<Interval> {
+    let mut prof = LfvProfiler::new(cb.program(), FINE_INTERVAL);
+    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut prof);
+    prof.finish()
+}
+
+fn profile_wss(cb: &CompiledBenchmark) -> Vec<Interval> {
+    let mut prof = WssProfiler::new(FINE_INTERVAL, 32);
+    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut prof);
+    prof.finish()
+}
+
+fn bench_ablation_metric(c: &mut Criterion) {
+    let spec = suite::benchmark_with_iters("bzip2", 2).expect("bzip2").scaled(0.5);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let config = MachineConfig::table1_base();
+    let truth = ground_truth(&cb, &config).estimate();
+
+    let mut group = c.benchmark_group("ablation_metric");
+    group.sample_size(10);
+    group.bench_function("bbv_profile_bzip2", |b| b.iter(|| profile_bbv(black_box(&cb))));
+    group.bench_function("lfv_profile_bzip2", |b| b.iter(|| profile_lfv(black_box(&cb))));
+    group.bench_function("wss_profile_bzip2", |b| b.iter(|| profile_wss(black_box(&cb))));
+    group.finish();
+
+    println!("\nAblation: phase metric comparison (bzip2, reduced size; identical selection)");
+    println!("{:>6} {:>7} {:>8} {:>9} {:>9} {:>9}", "metric", "dims", "phases", "points", "dCPI%", "dL1%");
+    for (name, intervals) in [
+        ("BBV", profile_bbv(&cb)),
+        ("LFV", profile_lfv(&cb)),
+        ("WSS", profile_wss(&cb)),
+    ] {
+        let sp = select(&intervals, &SimPointConfig::fine_10m());
+        let plan = plan_from_points(&sp).expect("valid plan");
+        let est = execute_plan(&cb, &config, &plan, WarmupMode::Warmed).estimate;
+        let dev = est.deviation_from(&truth);
+        println!(
+            "{:>6} {:>7} {:>8} {:>9} {:>8.2}% {:>8.2}%",
+            name,
+            intervals[0].vector.len(),
+            sp.k,
+            plan.len(),
+            dev.cpi * 100.0,
+            dev.l1_hit_rate * 100.0
+        );
+    }
+    println!("(expected, per the paper's citations: BBV most accurate; LFV close with fewer dims;");
+    println!(" WSS blind to same-data/different-code phase changes)");
+}
+
+criterion_group!(benches, bench_ablation_metric);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: the BBV random-projection dimensionality (SimPoint and the
+//! paper use 15). Sweeps the dimension and prints the chosen number of
+//! fine phases and the CPI deviation of the resulting SimPoint plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_core::prelude::*;
+use mlpa_sim::MachineConfig;
+use mlpa_workloads::{suite, CompiledBenchmark};
+use std::hint::black_box;
+
+fn bench_ablation_projection(c: &mut Criterion) {
+    let spec = suite::benchmark_with_iters("vortex", 2).expect("vortex").scaled(0.5);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let config = MachineConfig::table1_base();
+    let truth = ground_truth(&cb, &config).estimate();
+
+    let mut group = c.benchmark_group("ablation_projection");
+    group.sample_size(10);
+    group.bench_function("baseline_dim15_vortex", |b| {
+        b.iter(|| {
+            simpoint_baseline(
+                black_box(&cb),
+                FINE_INTERVAL,
+                &SimPointConfig::fine_10m(),
+                &ProjectionSettings::default(),
+            )
+            .expect("runs")
+        });
+    });
+    group.finish();
+
+    println!("\nAblation: projection dimension sweep (vortex, reduced size; paper dim = 15)");
+    println!("{:>5} {:>7} {:>9} {:>9} {:>11}", "dim", "fine-k", "points", "dCPI%", "functional%");
+    for dim in [2usize, 4, 8, 15, 32, 64] {
+        let proj = ProjectionSettings { dim, ..ProjectionSettings::default() };
+        let out = simpoint_baseline(&cb, FINE_INTERVAL, &SimPointConfig::fine_10m(), &proj)
+            .expect("baseline runs");
+        let est = execute_plan(&cb, &config, &out.plan, WarmupMode::Warmed).estimate;
+        let dev = est.deviation_from(&truth);
+        println!(
+            "{:>5} {:>7} {:>9} {:>8.2}% {:>10.2}%",
+            dim,
+            out.simpoints.k,
+            out.plan.len(),
+            dev.cpi * 100.0,
+            out.plan.functional_fraction() * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablation_projection);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation: the representative-selection policy at fine granularity.
+//! The paper's §II observes that EarlySP (Perelman et al., PACT 2003)
+//! "can only reduce some functional simulation time" — unlike COASTS,
+//! which changes the *granularity* and collapses it. This bench runs
+//! classic centroid selection, EarlySP at several tolerances, and pure
+//! earliest-instance selection through the same fine-grained pipeline
+//! and prints where the last simulation point lands versus the accuracy
+//! paid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_core::prelude::*;
+use mlpa_phase::simpoint::Selection;
+use mlpa_sim::MachineConfig;
+use mlpa_workloads::{suite, CompiledBenchmark};
+use std::hint::black_box;
+
+fn bench_ablation_selection(c: &mut Criterion) {
+    let spec = suite::benchmark_with_iters("twolf", 2).expect("twolf").scaled(0.5);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let config = MachineConfig::table1_base();
+    let truth = ground_truth(&cb, &config).estimate();
+    let proj = ProjectionSettings::default();
+
+    let mut group = c.benchmark_group("ablation_selection");
+    group.sample_size(10);
+    group.bench_function("earlysp_fine_twolf", |b| {
+        let cfg = SimPointConfig {
+            selection: Selection::EarlySp { tolerance: 0.3 },
+            ..SimPointConfig::fine_10m()
+        };
+        b.iter(|| simpoint_baseline(black_box(&cb), FINE_INTERVAL, &cfg, &proj).expect("runs"));
+    });
+    group.finish();
+
+    let coasts_out = coasts(&cb, &CoastsConfig::default()).expect("coasts");
+    let baseline =
+        simpoint_baseline(&cb, FINE_INTERVAL, &SimPointConfig::fine_10m(), &proj)
+            .expect("baseline");
+    let model = CostModel::paper_implied();
+
+    println!("\nAblation: selection policy at fine granularity (twolf, reduced size)");
+    println!(
+        "{:<22} {:>8} {:>9} {:>11} {:>9} {:>9}",
+        "policy", "points", "last-pos%", "functional%", "dCPI%", "speedup"
+    );
+    let policies: Vec<(String, Selection)> = vec![
+        ("centroid (SimPoint)".into(), Selection::Centroid),
+        ("EarlySP tol=0.1".into(), Selection::EarlySp { tolerance: 0.1 }),
+        ("EarlySP tol=0.5".into(), Selection::EarlySp { tolerance: 0.5 }),
+        ("EarlySP tol=2.0".into(), Selection::EarlySp { tolerance: 2.0 }),
+        ("earliest".into(), Selection::Earliest),
+    ];
+    for (name, selection) in policies {
+        let cfg = SimPointConfig { selection, ..SimPointConfig::fine_10m() };
+        let out = simpoint_baseline(&cb, FINE_INTERVAL, &cfg, &proj).expect("runs");
+        let est = execute_plan(&cb, &config, &out.plan, WarmupMode::Warmed).estimate;
+        let dev = est.deviation_from(&truth);
+        println!(
+            "{:<22} {:>8} {:>8.1}% {:>10.2}% {:>8.2}% {:>8.2}x",
+            name,
+            out.plan.len(),
+            out.plan.last_position() * 100.0,
+            out.plan.functional_fraction() * 100.0,
+            dev.cpi * 100.0,
+            model.speedup(&baseline.plan, &out.plan)
+        );
+    }
+    println!(
+        "{:<22} {:>8} {:>8.1}% {:>10.2}%        —  {:>8.2}x   <- granularity, not policy",
+        "COASTS (coarse)",
+        coasts_out.plan.len(),
+        coasts_out.plan.last_position() * 100.0,
+        coasts_out.plan.functional_fraction() * 100.0,
+        model.speedup(&baseline.plan, &coasts_out.plan)
+    );
+    println!("(the paper's point: even aggressive EarlySP cannot match what coarse granularity buys)");
+}
+
+criterion_group!(benches, bench_ablation_selection);
+criterion_main!(benches);

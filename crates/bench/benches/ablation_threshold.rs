@@ -1,0 +1,60 @@
+//! Ablation: the multi-level re-sampling threshold (the paper derives
+//! 300 M = 10 M × Kmax; scaled here to 300 k). Sweeps the threshold and
+//! prints detail share, functional share, CPI deviation, and speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_core::prelude::*;
+use mlpa_sim::MachineConfig;
+use mlpa_workloads::{suite, CompiledBenchmark};
+use std::hint::black_box;
+
+fn bench_ablation_threshold(c: &mut Criterion) {
+    let spec = suite::benchmark_with_iters("equake", 2).expect("equake").scaled(0.5);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let config = MachineConfig::table1_base();
+    let truth = ground_truth(&cb, &config).estimate();
+    let baseline = simpoint_baseline(
+        &cb,
+        FINE_INTERVAL,
+        &SimPointConfig::fine_10m(),
+        &ProjectionSettings::default(),
+    )
+    .expect("baseline");
+    let model = CostModel::paper_implied();
+
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(10);
+    group.bench_function("multilevel_default_equake", |b| {
+        b.iter(|| multilevel(black_box(&cb), &MultilevelConfig::default()).expect("runs"));
+    });
+    group.finish();
+
+    println!("\nAblation: re-sample threshold sweep (equake, reduced size; paper 300k scaled)");
+    println!(
+        "{:>10} {:>7} {:>9} {:>11} {:>9} {:>9}",
+        "threshold", "points", "detail%", "functional%", "dCPI%", "speedup"
+    );
+    for threshold in [0u64, 50_000, 150_000, 300_000, 1_000_000, u64::MAX] {
+        let cfg = MultilevelConfig { threshold, ..MultilevelConfig::default() };
+        let out = multilevel(&cb, &cfg).expect("multilevel runs");
+        let est = execute_plan(&cb, &config, &out.plan, WarmupMode::Warmed).estimate;
+        let dev = est.deviation_from(&truth);
+        let label = if threshold == u64::MAX {
+            "inf".to_owned()
+        } else {
+            format!("{}k", threshold / 1_000)
+        };
+        println!(
+            "{:>10} {:>7} {:>8.3}% {:>10.2}% {:>8.2}% {:>8.2}x",
+            label,
+            out.plan.len(),
+            out.plan.detail_fraction() * 100.0,
+            out.plan.functional_fraction() * 100.0,
+            dev.cpi * 100.0,
+            model.speedup(&baseline.plan, &out.plan)
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablation_threshold);
+criterion_main!(benches);

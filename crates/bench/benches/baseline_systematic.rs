@@ -1,0 +1,76 @@
+//! Extra baseline: SMARTS-style systematic sampling vs the paper's
+//! three methods. Systematic sampling achieves good accuracy with tiny
+//! detail volume, but its units span the entire run — so its functional
+//! cost is the worst of all four, which is precisely the cost COASTS's
+//! earliest-instance selection eliminates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_core::prelude::*;
+use mlpa_core::systematic::{sampling_error, systematic_plan, SystematicConfig};
+use mlpa_sim::MachineConfig;
+use mlpa_workloads::{suite, CompiledBenchmark};
+use std::hint::black_box;
+
+fn bench_baseline_systematic(c: &mut Criterion) {
+    let spec = suite::benchmark_with_iters("crafty", 2).expect("crafty").scaled(0.5);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let config = MachineConfig::table1_base();
+    let truth = ground_truth(&cb, &config).estimate();
+    let model = CostModel::paper_implied();
+
+    let fine = simpoint_baseline(
+        &cb,
+        FINE_INTERVAL,
+        &SimPointConfig::fine_10m(),
+        &ProjectionSettings::default(),
+    )
+    .expect("baseline");
+    let total = fine.plan.total_insts();
+    let sys_cfg = SystematicConfig { unit_len: 1_000, period: 150_000, offset: 75_000 };
+    let sys = systematic_plan(total, &sys_cfg).expect("systematic plan");
+    let co = coasts(&cb, &CoastsConfig::default()).expect("coasts");
+    let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
+
+    let mut group = c.benchmark_group("baseline_systematic");
+    group.sample_size(10);
+    group.bench_function("execute_systematic_crafty", |b| {
+        b.iter(|| execute_plan(black_box(&cb), &config, &sys, WarmupMode::Warmed));
+    });
+    group.finish();
+
+    println!("\nExtra baseline: systematic (SMARTS-style) vs the paper's methods (crafty)");
+    println!(
+        "{:<22} {:>7} {:>9} {:>11} {:>9} {:>9}",
+        "method", "points", "detail%", "functional%", "dCPI%", "speedup"
+    );
+    for (name, plan) in [
+        ("10M SimPoint", &fine.plan),
+        ("systematic 1k/150k", &sys),
+        ("COASTS", &co.plan),
+        ("multi-level", &ml.plan),
+    ] {
+        let out = execute_plan(&cb, &config, plan, WarmupMode::Warmed);
+        let dev = out.estimate.deviation_from(&truth);
+        println!(
+            "{:<22} {:>7} {:>8.3}% {:>10.2}% {:>8.2}% {:>8.2}x",
+            name,
+            plan.len(),
+            plan.detail_fraction() * 100.0,
+            plan.functional_fraction() * 100.0,
+            dev.cpi * 100.0,
+            model.speedup(&fine.plan, plan)
+        );
+        if name.starts_with("systematic") {
+            let e = sampling_error(&out.per_point);
+            println!(
+                "{:<22} CLT ±95% half-width: {:.2}% of mean CPI",
+                "", e.relative_ci95 * 100.0
+            );
+        }
+    }
+    println!("(systematic sampling is accurate but pays ~full-run functional cost — the");
+    println!(" exact cost structure the paper's coarse-grained earliest-instance selection removes)");
+}
+
+criterion_group!(benches, bench_baseline_systematic);
+criterion_main!(benches);

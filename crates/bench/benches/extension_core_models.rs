@@ -1,0 +1,80 @@
+//! Extension: one plan, two cores. Sampling plans are built from BBVs
+//! alone, so they are microarchitecture-independent — the same
+//! multi-level plan should estimate an out-of-order *and* an in-order
+//! core accurately. This is the property that makes sampling useful for
+//! design-space exploration (the paper's Config A/B sensitivity study,
+//! pushed across core types).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_core::prelude::*;
+use mlpa_sim::functional::Warming;
+use mlpa_sim::{FunctionalSim, InOrderSim, MachineConfig};
+use mlpa_workloads::{suite, CompiledBenchmark, WorkloadStream};
+use std::hint::black_box;
+
+/// Execute a plan against the in-order core with warmed fast-forward
+/// (the in-order counterpart of `mlpa_core::execute_plan`).
+fn execute_inorder(
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+    plan: &SimulationPlan,
+) -> mlpa_sim::MetricEstimate {
+    let mut stream = WorkloadStream::new(cb);
+    let mut func = FunctionalSim::new(cb.program());
+    let mut sim = InOrderSim::new(*config, cb.program());
+    let mut pos = 0u64;
+    let mut parts = Vec::new();
+    for p in plan.points() {
+        let skip = p.start.saturating_sub(pos);
+        let (hier, bu) = sim.warm_state_mut();
+        pos += func.fast_forward(&mut stream, skip, &mut (), Warming::Warm, Some((hier, bu)));
+        let m = sim.simulate(&mut stream, p.len);
+        pos += m.instructions;
+        parts.push((p.weight, m));
+    }
+    mlpa_sim::SimMetrics::weighted_estimate(parts)
+}
+
+fn ground_truth_inorder(cb: &CompiledBenchmark, config: &MachineConfig) -> mlpa_sim::MetricEstimate {
+    let mut sim = InOrderSim::new(*config, cb.program());
+    sim.simulate(&mut WorkloadStream::new(cb), u64::MAX).estimate()
+}
+
+fn bench_core_models(c: &mut Criterion) {
+    let spec = suite::benchmark_with_iters("mesa", 2).expect("mesa").scaled(0.5);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let config = MachineConfig::table1_base();
+    let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
+
+    let mut group = c.benchmark_group("extension_core_models");
+    group.sample_size(10);
+    group.bench_function("inorder_plan_execution_mesa", |b| {
+        b.iter(|| execute_inorder(black_box(&cb), &config, &ml.plan));
+    });
+    group.finish();
+
+    println!("\nExtension: one multi-level plan estimating two core models (mesa)");
+    println!("{:<14} {:>10} {:>10} {:>8}", "core", "truth CPI", "est CPI", "dCPI%");
+    let ooo_truth = ground_truth(&cb, &config).estimate();
+    let ooo_est = execute_plan(&cb, &config, &ml.plan, WarmupMode::Warmed).estimate;
+    println!(
+        "{:<14} {:>10.3} {:>10.3} {:>7.2}%",
+        "out-of-order",
+        ooo_truth.cpi,
+        ooo_est.cpi,
+        ooo_est.deviation_from(&ooo_truth).cpi * 100.0
+    );
+    let io_truth = ground_truth_inorder(&cb, &config);
+    let io_est = execute_inorder(&cb, &config, &ml.plan);
+    println!(
+        "{:<14} {:>10.3} {:>10.3} {:>7.2}%",
+        "in-order",
+        io_truth.cpi,
+        io_est.cpi,
+        io_est.deviation_from(&io_truth).cpi * 100.0
+    );
+    println!("(the plan was computed once, from BBVs only — no per-core re-analysis)");
+}
+
+criterion_group!(benches, bench_core_models);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Extension: how the speedup scales with program length — the paper's
+//! §I motivation ("the simulation time of SPEC2006 becomes about 10×
+//! longer than that of SPEC2000 … a dire need for further improvement").
+//!
+//! Holding the phase structure fixed and multiplying the outer-iteration
+//! count (what a longer reference input does to a loop-dominated
+//! program), fine-grained SimPoint's cost grows linearly with program
+//! length (functional time ∝ run length) while COASTS and multi-level
+//! sampling keep their costs pinned to the early phase instances — so
+//! their speedups *grow* with program length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_core::prelude::*;
+use mlpa_workloads::{suite, CompiledBenchmark};
+use std::hint::black_box;
+
+fn bench_longer_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension_longer_programs");
+    group.sample_size(10);
+    {
+        let spec = suite::benchmark_with_iters("gzip", 2).expect("gzip").scaled(0.5);
+        let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+        group.bench_function("multilevel_gzip_2x", |b| {
+            b.iter(|| multilevel(black_box(&cb), &MultilevelConfig::default()).expect("runs"));
+        });
+    }
+    group.finish();
+
+    let model = CostModel::paper_implied();
+    println!("\nExtension: speedup vs program length (gzip, iteration factor sweep)");
+    println!(
+        "{:>7} {:>9} {:>12} {:>12} {:>10} {:>10}",
+        "factor", "insts", "SP func%", "CO func%", "CO speedup", "ML speedup"
+    );
+    for factor in [1usize, 2, 4, 8] {
+        let spec = suite::benchmark_with_iters("gzip", factor).expect("gzip").scaled(0.5);
+        let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+        let fine = simpoint_baseline(
+            &cb,
+            FINE_INTERVAL,
+            &SimPointConfig::fine_10m(),
+            &ProjectionSettings::default(),
+        )
+        .expect("baseline");
+        let co = coasts(&cb, &CoastsConfig::default()).expect("coasts");
+        let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
+        println!(
+            "{:>7} {:>8.0}M {:>11.2}% {:>11.2}% {:>9.2}x {:>9.2}x",
+            factor,
+            fine.plan.total_insts() as f64 / 1e6,
+            fine.plan.functional_fraction() * 100.0,
+            co.plan.functional_fraction() * 100.0,
+            model.speedup(&fine.plan, &co.plan),
+            model.speedup(&fine.plan, &ml.plan),
+        );
+    }
+    println!("(coarse methods pin their cost to early instances, so longer programs");
+    println!(" widen the gap — the paper's SPEC2006 motivation)");
+}
+
+criterion_group!(benches, bench_longer_programs);
+criterion_main!(benches);

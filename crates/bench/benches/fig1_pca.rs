@@ -1,0 +1,30 @@
+//! Fig. 1 bench: times the phase-curve computation (profiling + PCA +
+//! selection at both granularities) and prints the resulting curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_bench::fig1;
+use mlpa_workloads::suite;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let spec = suite::benchmark_with_iters("lucas", 2)
+        .expect("lucas exists")
+        .scaled(0.3);
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("lucas_phase_curves", |b| {
+        b.iter(|| fig1::fig1(black_box(&spec)).expect("fig1 computes"));
+    });
+    group.finish();
+
+    // Regenerate the figure itself once.
+    let data = fig1::fig1(&spec).expect("fig1 computes");
+    println!("\nFigure 1 (lucas, reduced size): fine-grained curve");
+    println!("{}", fig1::to_ascii(&data.fine, 100, 12));
+    println!("Figure 1 (lucas, reduced size): coarse-grained curve");
+    println!("{}", fig1::to_ascii(&data.coarse, 100, 12));
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

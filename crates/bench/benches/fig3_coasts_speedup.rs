@@ -1,0 +1,33 @@
+//! Fig. 3 bench: times the COASTS pipeline (loop profiling + iteration
+//! BBVs + coarse clustering + earliest-instance selection) and prints
+//! the COASTS-over-SimPoint speedup rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_bench::{harness, report};
+use mlpa_core::prelude::*;
+use mlpa_workloads::CompiledBenchmark;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let exp = harness::Experiment::quick()
+        .select(&["gzip", "mcf", "art", "bzip2", "swim", "lucas", "eon", "equake"]);
+    let spec = exp.suite.get("gzip").expect("gzip selected").clone();
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("coasts_selection_gzip", |b| {
+        b.iter(|| coasts(black_box(&cb), &CoastsConfig::default()).expect("coasts runs"));
+    });
+    group.finish();
+
+    // Regenerate the figure rows once (reduced suite).
+    let results = exp.run(|_| {}).expect("suite runs");
+    println!(
+        "\n{}",
+        report::figure_speedup(&results, harness::Method::Coasts, &CostModel::paper_implied())
+    );
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 4 bench: times the full multi-level pipeline (COASTS plus
+//! in-window fine re-sampling) and prints the multi-level-over-SimPoint
+//! speedup rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_bench::{harness, report};
+use mlpa_core::prelude::*;
+use mlpa_workloads::CompiledBenchmark;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let exp = harness::Experiment::quick()
+        .select(&["gzip", "mcf", "art", "bzip2", "swim", "lucas", "eon", "equake"]);
+    let spec = exp.suite.get("gzip").expect("gzip selected").clone();
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("multilevel_selection_gzip", |b| {
+        b.iter(|| multilevel(black_box(&cb), &MultilevelConfig::default()).expect("runs"));
+    });
+    group.finish();
+
+    let results = exp.run(|_| {}).expect("suite runs");
+    println!(
+        "\n{}",
+        report::figure_speedup(
+            &results,
+            harness::Method::Multilevel,
+            &CostModel::paper_implied()
+        )
+    );
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmarks of the simulator substrate itself: trace generation,
+//! functional simulation, detailed simulation, cache accesses, branch
+//! prediction, k-means. These are the quantities the cost model
+//! (`CostModel::measure`) summarises into the detailed/functional ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlpa_isa::rng::SplitMix64;
+use mlpa_isa::stream::drain_count;
+use mlpa_phase::kmeans::{kmeans, KMeansConfig};
+use mlpa_sim::cache::Cache;
+use mlpa_sim::config::CacheConfig;
+use mlpa_sim::{DetailedSim, FunctionalSim, MachineConfig};
+use mlpa_workloads::{suite, CompiledBenchmark, WorkloadStream};
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    let spec = suite::benchmark_with_iters("eon", 1).expect("eon").scaled(0.05);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let trace_len = drain_count(WorkloadStream::new(&cb)).instructions;
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace_len));
+    group.bench_function("trace_generation", |b| {
+        b.iter(|| drain_count(WorkloadStream::new(black_box(&cb))));
+    });
+    group.bench_function("functional_sim", |b| {
+        b.iter(|| {
+            let mut f = FunctionalSim::new(cb.program());
+            f.run(WorkloadStream::new(&cb), &mut ())
+        });
+    });
+    group.bench_function("detailed_sim", |b| {
+        b.iter(|| {
+            let mut d = DetailedSim::new(MachineConfig::table1_base(), cb.program());
+            d.simulate(&mut WorkloadStream::new(&cb), u64::MAX)
+        });
+    });
+    group.finish();
+
+    let mut cache_group = c.benchmark_group("cache");
+    let accesses = 100_000u64;
+    cache_group.throughput(Throughput::Elements(accesses));
+    cache_group.bench_function("l1_random_access", |b| {
+        let mut cache =
+            Cache::new(CacheConfig { size: 16 * 1024, assoc: 4, line: 32, latency: 2 });
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            for _ in 0..accesses {
+                let addr = rng.range_u64(1 << 20);
+                black_box(cache.access(addr, false));
+            }
+        });
+    });
+    cache_group.finish();
+
+    let mut cluster_group = c.benchmark_group("kmeans");
+    cluster_group.sample_size(10);
+    let mut rng = SplitMix64::new(7);
+    let data: Vec<Vec<f64>> = (0..2_000)
+        .map(|_| (0..15).map(|_| rng.next_gauss()).collect())
+        .collect();
+    cluster_group.bench_function("k10_n2000_d15", |b| {
+        b.iter(|| kmeans(black_box(&data), 10, &KMeansConfig::default()));
+    });
+    cluster_group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table II bench: times plan execution (fast-forward + detailed
+//! sampling + weighted combination) and prints the deviation table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_bench::{harness, report};
+use mlpa_core::prelude::*;
+use mlpa_sim::MachineConfig;
+use mlpa_workloads::CompiledBenchmark;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let exp = harness::Experiment::quick()
+        .select(&["gzip", "mcf", "art", "bzip2", "swim", "lucas"]);
+    let spec = exp.suite.get("mcf").expect("mcf selected").clone();
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let plan = coasts(&cb, &CoastsConfig::default()).expect("coasts runs").plan;
+    let config = MachineConfig::table1_base();
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("execute_coasts_plan_mcf", |b| {
+        b.iter(|| execute_plan(black_box(&cb), &config, &plan, WarmupMode::Warmed));
+    });
+    group.finish();
+
+    let results = exp.run(|_| {}).expect("suite runs");
+    println!("\n{}", report::table2(&results));
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table III bench: times the SimPoint baseline pipeline (the most
+//! interval-heavy selection) and prints the simulation-point statistics
+//! table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlpa_bench::{harness, report};
+use mlpa_core::prelude::*;
+use mlpa_workloads::CompiledBenchmark;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let exp = harness::Experiment::quick()
+        .select(&["gzip", "mcf", "art", "bzip2", "swim", "lucas"]);
+    let spec = exp.suite.get("swim").expect("swim selected").clone();
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("simpoint_baseline_swim", |b| {
+        b.iter(|| {
+            simpoint_baseline(
+                black_box(&cb),
+                FINE_INTERVAL,
+                &SimPointConfig::fine_10m(),
+                &ProjectionSettings::default(),
+            )
+            .expect("baseline runs")
+        });
+    });
+    group.finish();
+
+    let results = exp.run(|_| {}).expect("suite runs");
+    println!("\n{}", report::table3(&results));
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

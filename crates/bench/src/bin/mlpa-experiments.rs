@@ -1,0 +1,250 @@
+//! `mlpa-experiments` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! mlpa-experiments [OPTIONS] [COMMANDS...]
+//!
+//! COMMANDS (default: all)
+//!   configs      print Table I (both machine configurations)
+//!   fig1         Fig. 1 phase curves for lucas (CSV + ASCII)
+//!   fig3         Fig. 3 COASTS speedup over SimPoint
+//!   fig4         Fig. 4 multi-level speedup over SimPoint
+//!   table2       Table II deviation comparison
+//!   table3       Table III simulation-point statistics
+//!   motivation   §III-B coarse-phase statistics
+//!   all          everything above
+//!
+//! OPTIONS
+//!   --quick           reduced suite (2x iterations, 0.5x sizes)
+//!   --select a,b,c    only the named benchmarks
+//!   --iters N         iteration factor (default 8; gcc unaffected)
+//!   --scale F         size scale factor (default 1.0)
+//!   --cold            cold fast-forward (no warming) — scale-amplified
+//!   --ratio R         cost-model ratio c_d/c_f (default: paper 32.5)
+//!   --measured-ratio  also report speedups at the measured ratio
+//!   --out DIR         output directory (default: results)
+//! ```
+
+use mlpa_bench::{fig1, harness, report};
+use mlpa_core::prelude::*;
+use mlpa_sim::MachineConfig;
+use mlpa_workloads::{suite, CompiledBenchmark, Suite};
+use std::fs;
+use std::path::PathBuf;
+
+struct Options {
+    commands: Vec<String>,
+    quick: bool,
+    select: Vec<String>,
+    iters: usize,
+    scale: f64,
+    cold: bool,
+    ratio: f64,
+    measured_ratio: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        commands: Vec::new(),
+        quick: false,
+        select: Vec::new(),
+        iters: suite::DEFAULT_ITER_FACTOR,
+        scale: 1.0,
+        cold: false,
+        ratio: 32.5,
+        measured_ratio: false,
+        out: PathBuf::from("results"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "--cold" => o.cold = true,
+            "--measured-ratio" => o.measured_ratio = true,
+            "--select" => {
+                let v = args.next().ok_or("--select needs a value")?;
+                o.select = v.split(',').map(str::to_owned).collect();
+            }
+            "--iters" => {
+                o.iters = args
+                    .next()
+                    .ok_or("--iters needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--scale" => {
+                o.scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--ratio" => {
+                o.ratio = args
+                    .next()
+                    .ok_or("--ratio needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--ratio: {e}"))?;
+            }
+            "--out" => o.out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--help" | "-h" => {
+                println!("see the module docs at the top of mlpa-experiments.rs");
+                std::process::exit(0);
+            }
+            cmd if !cmd.starts_with('-') => o.commands.push(cmd.to_owned()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if o.commands.is_empty() {
+        o.commands.push("all".into());
+    }
+    Ok(o)
+}
+
+fn build_suite(o: &Options) -> Suite {
+    let (iters, scale) = if o.quick { (2, 0.5) } else { (o.iters, o.scale) };
+    let mut s: Suite = suite::SPEC2000_NAMES
+        .iter()
+        .map(|n| {
+            let spec = suite::benchmark_with_iters(n, iters).expect("known name");
+            if (scale - 1.0).abs() > 1e-12 {
+                spec.scaled(scale)
+            } else {
+                spec
+            }
+        })
+        .collect();
+    if !o.select.is_empty() {
+        let names: Vec<&str> = o.select.iter().map(String::as_str).collect();
+        s = s.select(&names);
+    }
+    s
+}
+
+fn main() {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&o) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(o: &Options) -> Result<(), String> {
+    fs::create_dir_all(&o.out).map_err(|e| format!("creating {}: {e}", o.out.display()))?;
+    let wants =
+        |c: &str| o.commands.iter().any(|x| x == c) || o.commands.iter().any(|x| x == "all");
+    let mut emitted: Vec<(String, String)> = Vec::new();
+    fn print_and_keep(emitted: &mut Vec<(String, String)>, name: &str, text: String) {
+        println!("{text}");
+        emitted.push((name.to_owned(), text));
+    }
+
+    if wants("configs") {
+        let mut t = String::from("Table I: CONFIGURATIONS\n");
+        t.push_str(&format!("Part A (base):        {}\n", MachineConfig::table1_base()));
+        t.push_str(&format!(
+            "Part B (sensitivity): {}\n",
+            MachineConfig::table1_sensitivity()
+        ));
+        print_and_keep(&mut emitted, "table1_configs.txt", t);
+    }
+
+    if wants("fig1") {
+        let spec = build_suite(o)
+            .get("lucas")
+            .cloned()
+            .ok_or("fig1 needs lucas in the suite (check --select)")?;
+        eprintln!("[fig1] computing phase curves for lucas...");
+        let data = fig1::fig1(&spec)?;
+        let mut t = String::from("Figure 1: PC1 of BBV signatures, lucas\n");
+        t.push_str("(a) fine-grained (10k) intervals:\n");
+        t.push_str(&fig1::to_ascii(&data.fine, 100, 14));
+        t.push_str("(b) coarse-grained (outer-iteration) intervals:\n");
+        t.push_str(&fig1::to_ascii(&data.coarse, 100, 14));
+        print_and_keep(&mut emitted, "fig1_lucas.txt", t);
+        emitted.push(("fig1_lucas.csv".into(), fig1::to_csv(&data)));
+    }
+
+    let need_suite_run =
+        ["fig3", "fig4", "table2", "table3", "motivation"].iter().any(|c| wants(c));
+    if need_suite_run {
+        let exp = harness::Experiment {
+            suite: build_suite(o),
+            warmup: if o.cold { WarmupMode::Cold } else { WarmupMode::Warmed },
+            ..harness::Experiment::default()
+        };
+        eprintln!(
+            "[suite] running {} benchmarks x 3 methods x 2 configs (this is the long part)...",
+            exp.suite.len()
+        );
+        let results = exp.run(|r| {
+            eprintln!(
+                "[suite]   {:>9}: {:>4.0}M insts, {:>5.1}s",
+                r.name,
+                r.total_insts as f64 / 1e6,
+                r.elapsed
+            );
+        })?;
+
+        let mut models = vec![("paper-implied".to_owned(), CostModel::from_ratio(o.ratio))];
+        if o.measured_ratio {
+            let spec = exp.suite.iter().next().ok_or("empty suite")?;
+            let cb = CompiledBenchmark::compile(spec)?;
+            let m = CostModel::measure(&cb, &exp.configs[0], 2_000_000);
+            eprintln!("[suite] measured cost ratio r = {:.1}", m.ratio());
+            models.push(("measured".to_owned(), m));
+        }
+
+        for (label, model) in &models {
+            if wants("fig3") {
+                let t = format!(
+                    "[{label} cost model]\n{}",
+                    report::figure_speedup(&results, harness::Method::Coasts, model)
+                );
+                print_and_keep(&mut emitted, &format!("fig3_coasts_speedup_{label}.txt"), t);
+                emitted.push((
+                    format!("fig3_coasts_speedup_{label}.csv"),
+                    report::figure_speedup_csv(&results, harness::Method::Coasts, model),
+                ));
+            }
+            if wants("fig4") {
+                let t = format!(
+                    "[{label} cost model]\n{}",
+                    report::figure_speedup(&results, harness::Method::Multilevel, model)
+                );
+                print_and_keep(
+                    &mut emitted,
+                    &format!("fig4_multilevel_speedup_{label}.txt"),
+                    t,
+                );
+                emitted.push((
+                    format!("fig4_multilevel_speedup_{label}.csv"),
+                    report::figure_speedup_csv(&results, harness::Method::Multilevel, model),
+                ));
+            }
+        }
+        if wants("table2") {
+            print_and_keep(&mut emitted, "table2_deviation.txt", report::table2(&results));
+        }
+        if wants("table3") {
+            print_and_keep(&mut emitted, "table3_stats.txt", report::table3(&results));
+        }
+        if wants("motivation") {
+            print_and_keep(&mut emitted, "motivation.txt", report::motivation(&results));
+        }
+        emitted.push(("full_results.csv".into(), report::full_csv(&results, &models[0].1)));
+    }
+
+    for (name, text) in &emitted {
+        let path = o.out.join(name);
+        fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    eprintln!("[done] wrote {} files to {}", emitted.len(), o.out.display());
+    Ok(())
+}

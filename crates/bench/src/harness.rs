@@ -1,0 +1,274 @@
+//! The shared experiment driver: runs every sampling method on every
+//! benchmark under both Table I configurations, producing the result
+//! set all tables and figures are derived from.
+
+use mlpa_core::prelude::*;
+use mlpa_core::{CoastsOutcome, FineOutcome, MultilevelOutcome};
+use mlpa_sim::{MachineConfig, MetricDeviation, MetricEstimate};
+use mlpa_workloads::{BenchmarkSpec, CompiledBenchmark, Suite};
+
+/// The three methods the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// 10 M (scaled 10 k) fixed-interval SimPoint, `Kmax = 30`.
+    SimPoint,
+    /// Coarse-grained earliest-instance sampling, `Kmax = 3`.
+    Coasts,
+    /// COASTS + fine re-sampling above the 300 k threshold.
+    Multilevel,
+}
+
+impl Method {
+    /// All methods, baseline first.
+    pub const ALL: [Method; 3] = [Method::SimPoint, Method::Coasts, Method::Multilevel];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::SimPoint => "10M SimPoint",
+            Method::Coasts => "COASTS",
+            Method::Multilevel => "Multi-level Sampling",
+        }
+    }
+}
+
+/// Per-benchmark, per-method outcome.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// The executable plan.
+    pub plan: SimulationPlan,
+    /// Estimates under Config A and Config B.
+    pub estimates: [MetricEstimate; 2],
+    /// Deviations from ground truth under Config A and Config B.
+    pub deviations: [MetricDeviation; 2],
+    /// Number of simulation points.
+    pub points: usize,
+    /// Mean point (interval) size in instructions.
+    pub mean_interval: f64,
+}
+
+/// Everything measured for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Trace length in instructions.
+    pub total_insts: u64,
+    /// Ground truth under Config A and Config B.
+    pub truths: [MetricEstimate; 2],
+    /// Results in [`Method::ALL`] order.
+    pub methods: [MethodResult; 3],
+    /// Number of coarse phases COASTS's BIC sweep settled on.
+    pub coarse_k: usize,
+    /// Position of the last coarse simulation point.
+    pub coarse_last_position: f64,
+    /// Fine SimPoint cluster count.
+    pub fine_k: usize,
+    /// Wall-clock seconds spent on this benchmark.
+    pub elapsed: f64,
+}
+
+/// Experiment-wide settings.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Benchmarks to run.
+    pub suite: Suite,
+    /// Machine configurations (Config A, Config B).
+    pub configs: [MachineConfig; 2],
+    /// Warm-up policy during fast-forward (default: warmed; see
+    /// [`WarmupMode`] docs for the scale argument).
+    pub warmup: WarmupMode,
+    /// COASTS parameters.
+    pub coasts: CoastsConfig,
+    /// Multi-level parameters.
+    pub multilevel: MultilevelConfig,
+    /// Fine-grained baseline parameters.
+    pub fine: SimPointConfig,
+    /// Fine interval length.
+    pub fine_interval: u64,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment {
+            suite: Suite::spec2000(),
+            configs: [MachineConfig::table1_base(), MachineConfig::table1_sensitivity()],
+            warmup: WarmupMode::Warmed,
+            coasts: CoastsConfig::default(),
+            multilevel: MultilevelConfig::default(),
+            fine: SimPointConfig::fine_10m(),
+            fine_interval: FINE_INTERVAL,
+        }
+    }
+}
+
+impl Experiment {
+    /// A scaled-down experiment for quick runs and Criterion benches:
+    /// the full 26-benchmark suite at reduced iteration counts and
+    /// sizes. Keeps every structural knob identical.
+    pub fn quick() -> Experiment {
+        let suite: Suite = mlpa_workloads::suite::SPEC2000_NAMES
+            .iter()
+            .map(|n| {
+                mlpa_workloads::suite::benchmark_with_iters(n, 2)
+                    .expect("known name")
+                    .scaled(0.5)
+            })
+            .collect();
+        Experiment { suite, ..Experiment::default() }
+    }
+
+    /// Restrict to the named benchmarks.
+    #[must_use]
+    pub fn select(mut self, names: &[&str]) -> Experiment {
+        self.suite = self.suite.select(names);
+        self
+    }
+
+    /// Run one benchmark through every method and both configs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and selection errors (invalid spec, no
+    /// cyclic structure).
+    pub fn run_benchmark(&self, spec: &BenchmarkSpec) -> Result<BenchResult, String> {
+        let t0 = std::time::Instant::now();
+        let cb = CompiledBenchmark::compile(spec)?;
+
+        // Plans.
+        let fine: FineOutcome =
+            simpoint_baseline(&cb, self.fine_interval, &self.fine, &self.coasts.projection)?;
+        let co: CoastsOutcome = coasts(&cb, &self.coasts)?;
+        let ml: MultilevelOutcome = multilevel(&cb, &self.multilevel)?;
+
+        // Ground truths + estimates per config.
+        let zero = MetricEstimate {
+            cpi: 0.0,
+            l1_hit_rate: 0.0,
+            l2_hit_rate: 0.0,
+            mispredict_rate: 0.0,
+        };
+        let mut truths = [zero; 2];
+        let mut per_method: Vec<Vec<(MetricEstimate, MetricDeviation)>> = vec![Vec::new(); 3];
+        for (ci, config) in self.configs.iter().enumerate() {
+            let truth = ground_truth(&cb, config).estimate();
+            truths[ci] = truth;
+            for (mi, plan) in [&fine.plan, &co.plan, &ml.plan].into_iter().enumerate() {
+                let est = execute_plan(&cb, config, plan, self.warmup).estimate;
+                per_method[mi].push((est, est.deviation_from(&truth)));
+            }
+        }
+
+        let mk = |plan: &SimulationPlan, rows: &[(MetricEstimate, MetricDeviation)]| MethodResult {
+            plan: plan.clone(),
+            estimates: [rows[0].0, rows[1].0],
+            deviations: [rows[0].1, rows[1].1],
+            points: plan.len(),
+            mean_interval: plan.mean_point_len(),
+        };
+
+        Ok(BenchResult {
+            name: spec.name.clone(),
+            total_insts: fine.plan.total_insts(),
+            truths,
+            methods: [
+                mk(&fine.plan, &per_method[0]),
+                mk(&co.plan, &per_method[1]),
+                mk(&ml.plan, &per_method[2]),
+            ],
+            coarse_k: co.simpoints.k,
+            coarse_last_position: co.plan.last_position(),
+            fine_k: fine.simpoints.k,
+            elapsed: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Run the whole suite, calling `progress` after each benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first benchmark error.
+    pub fn run(&self, mut progress: impl FnMut(&BenchResult)) -> Result<Vec<BenchResult>, String> {
+        let mut out = Vec::with_capacity(self.suite.len());
+        for spec in &self.suite {
+            let r = self.run_benchmark(spec).map_err(|e| format!("{}: {e}", spec.name))?;
+            progress(&r);
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+/// Index of a method in [`BenchResult::methods`].
+pub fn method_index(m: Method) -> usize {
+    match m {
+        Method::SimPoint => 0,
+        Method::Coasts => 1,
+        Method::Multilevel => 2,
+    }
+}
+
+/// Speedup of `method` over the SimPoint baseline for one benchmark
+/// under a cost model.
+pub fn speedup(result: &BenchResult, method: Method, model: &CostModel) -> f64 {
+    let base = &result.methods[0].plan;
+    let plan = &result.methods[method_index(method)].plan;
+    model.speedup(base, plan)
+}
+
+/// Geometric-mean speedup across a result set.
+pub fn geomean_speedup(results: &[BenchResult], method: Method, model: &CostModel) -> f64 {
+    let v: Vec<f64> = results.iter().map(|r| speedup(r, method, model)).collect();
+    geometric_mean(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Experiment {
+        let suite: Suite = ["eon", "twolf"]
+            .iter()
+            .map(|n| {
+                mlpa_workloads::suite::benchmark_with_iters(n, 1)
+                    .expect("known")
+                    .scaled(0.15)
+            })
+            .collect();
+        Experiment { suite, ..Experiment::default() }
+    }
+
+    #[test]
+    fn runs_methods_and_orders_speedups() {
+        let exp = tiny();
+        let results = exp.run(|_| {}).unwrap();
+        assert_eq!(results.len(), 2);
+        let model = CostModel::paper_implied();
+        for r in &results {
+            for m in &r.methods {
+                assert_eq!(m.plan.total_insts(), r.total_insts);
+            }
+            // Coarse methods slash functional time.
+            let sp = &r.methods[0].plan;
+            let co = &r.methods[1].plan;
+            assert!(co.functional_fraction() < sp.functional_fraction());
+            // Multi-level detail volume <= COASTS detail volume.
+            assert!(r.methods[2].plan.detailed_insts() <= r.methods[1].plan.detailed_insts());
+        }
+        let g = geomean_speedup(&results, Method::Multilevel, &model);
+        assert!(g > 1.0, "multi-level should beat SimPoint, geomean {g:.2}");
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(Method::ALL.len(), 3);
+        assert_eq!(method_index(Method::SimPoint), 0);
+        assert_eq!(Method::Coasts.name(), "COASTS");
+    }
+
+    #[test]
+    fn select_filters_suite() {
+        let exp = Experiment::default().select(&["gzip"]);
+        assert_eq!(exp.suite.len(), 1);
+    }
+}

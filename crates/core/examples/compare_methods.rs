@@ -1,0 +1,62 @@
+//! Compare all three sampling methods on named benchmarks: plan shape,
+//! accuracy against ground truth, and modelled speedup.
+//!
+//! ```text
+//! cargo run --release -p mlpa-core --example compare_methods [bench...]
+//! ```
+
+use mlpa_core::prelude::*;
+use mlpa_sim::MachineConfig;
+use mlpa_workloads::{suite, CompiledBenchmark};
+
+fn main() -> Result<(), String> {
+    let names: Vec<String> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.is_empty() {
+            vec!["gzip".into(), "lucas".into(), "gcc".into()]
+        } else {
+            args
+        }
+    };
+    let cfg = MachineConfig::table1_base();
+    let model = CostModel::paper_implied();
+    for name in &names {
+        let spec = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+        let cb = CompiledBenchmark::compile(&spec)?;
+        let t0 = std::time::Instant::now();
+        let truth = ground_truth(&cb, &cfg).estimate();
+        let fine = simpoint_baseline(
+            &cb,
+            FINE_INTERVAL,
+            &SimPointConfig::fine_10m(),
+            &ProjectionSettings::default(),
+        )?;
+        let co = coasts(&cb, &CoastsConfig::default())?;
+        let ml = multilevel(&cb, &MultilevelConfig::default())?;
+        println!(
+            "=== {name} ({:.0}M inst; {:.0}s) truth CPI {:.3}",
+            fine.plan.total_insts() as f64 / 1e6,
+            t0.elapsed().as_secs_f64(),
+            truth.cpi
+        );
+        for (label, plan) in
+            [("SimPoint", &fine.plan), ("COASTS  ", &co.plan), ("Multi   ", &ml.plan)]
+        {
+            let est = execute_plan(&cb, &cfg, plan, WarmupMode::Warmed).estimate;
+            let d = est.deviation_from(&truth);
+            println!(
+                "  {label}: {:3} pts, detail {:.3}%, func {:.2}%, last {:.1}%, \
+                 dCPI {:.2}% dL1 {:.2}% dL2 {:.2}%, speedup {:.2}x",
+                plan.len(),
+                plan.detail_fraction() * 100.0,
+                plan.functional_fraction() * 100.0,
+                plan.last_position() * 100.0,
+                d.cpi * 100.0,
+                d.l1_hit_rate * 100.0,
+                d.l2_hit_rate * 100.0,
+                model.speedup(&fine.plan, plan)
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,224 @@
+//! COASTS — COarse-grained Accurately Sampling Technique for Simulators
+//! (the paper's first-level sampling, §IV-A).
+//!
+//! Three steps, exactly as the paper describes:
+//!
+//! 1. **Boundary collection** — profile the trace's cyclic structures
+//!    dynamically and discard those covering < 1 % of execution;
+//! 2. **Metrics collection** — slice the trace into variable-length
+//!    intervals at the iterations of the selected *outermost* structure
+//!    and collect a 15-dimensional projected, normalised BBV per
+//!    iteration instance;
+//! 3. **Coarse sampling** — k-means the signatures (`Kmax = 3` by
+//!    default) and pick the **earliest** instance of each coarse phase
+//!    as its simulation point.
+//!
+//! Picking earliest instances is what collapses functional fast-forward
+//! time: the last coarse point sits at ~17 % of the run on average
+//! (paper §III-B), versus ~94 % for fine-grained SimPoint.
+
+use crate::pipeline::ProjectionSettings;
+use crate::plan::SimulationPlan;
+use mlpa_phase::interval::{BoundaryProfiler, Interval};
+use mlpa_phase::loops::{LoopMonitor, LoopProfile};
+use mlpa_phase::simpoint::{select, SimPointConfig, SimPoints};
+use mlpa_sim::FunctionalSim;
+use mlpa_workloads::{CompiledBenchmark, WorkloadStream};
+
+/// COASTS parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoastsConfig {
+    /// Minimum coverage for a cyclic structure to be considered (the
+    /// paper discards < 1 %).
+    pub min_coverage: f64,
+    /// Clustering/selection parameters (defaults: `Kmax = 3`,
+    /// earliest-instance selection).
+    pub selection: SimPointConfig,
+    /// Projection settings.
+    pub projection: ProjectionSettings,
+}
+
+impl Default for CoastsConfig {
+    fn default() -> Self {
+        CoastsConfig {
+            min_coverage: 0.01,
+            selection: SimPointConfig::coasts(),
+            projection: ProjectionSettings::default(),
+        }
+    }
+}
+
+/// Everything COASTS produces for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoastsOutcome {
+    /// The executable coarse plan.
+    pub plan: SimulationPlan,
+    /// The raw coarse selection.
+    pub simpoints: SimPoints,
+    /// The coarse iteration intervals (kept for re-sampling and
+    /// Fig.-1-style visualisation).
+    pub intervals: Vec<Interval>,
+    /// The loop profile of pass 1.
+    pub profile: LoopProfile,
+    /// Header block of the selected outermost structure.
+    pub header: mlpa_isa::BlockId,
+}
+
+/// Run COASTS on a compiled benchmark.
+///
+/// # Errors
+///
+/// Returns an error if no cyclic structure clears `min_coverage` (a
+/// straight-line program — not meaningful to sample coarsely) or the
+/// trace is empty.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_core::coasts::{coasts, CoastsConfig};
+/// use mlpa_workloads::{spec::BenchmarkSpec, CompiledBenchmark};
+///
+/// let cb = CompiledBenchmark::compile(&BenchmarkSpec::default())?;
+/// let out = coasts(&cb, &CoastsConfig::default())?;
+/// assert!(out.plan.len() <= 3, "Kmax = 3 coarse phases");
+/// # Ok::<(), String>(())
+/// ```
+pub fn coasts(cb: &CompiledBenchmark, cfg: &CoastsConfig) -> Result<CoastsOutcome, String> {
+    // Pass 1: boundary information.
+    let mut monitor = LoopMonitor::new(cb.program());
+    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut monitor);
+    let profile = monitor.finish();
+    let header = profile
+        .select_outermost(cfg.min_coverage)
+        .ok_or_else(|| {
+            format!(
+                "benchmark {}: no cyclic structure covers >= {:.0}% of execution",
+                cb.spec().name,
+                cfg.min_coverage * 100.0
+            )
+        })?
+        .header;
+
+    // Pass 2: metrics information per iteration instance.
+    let projection = cfg.projection.build(cb);
+    let mut prof = BoundaryProfiler::new(&projection, header);
+    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut prof);
+    let has_prologue = prof.has_prologue();
+    let intervals = prof.finish();
+    if intervals.is_empty() {
+        return Err(format!("benchmark {} produced an empty trace", cb.spec().name));
+    }
+
+    // Coarse-grained sampling over *iteration instances only*: the
+    // prologue (code before the loop is first entered) is not an
+    // iteration of the cyclic structure, and the final interval absorbs
+    // the program's epilogue (there is no header entry after it), so
+    // neither is a pure iteration instance. Both are excluded from
+    // classification — they must neither be selected as representatives
+    // nor counted in phase weights; their few instructions are simply
+    // fast-forwarded (or never reached), as in the paper.
+    let lo = usize::from(has_prologue && intervals.len() > 1);
+    let hi = if intervals.len() - lo > 1 { intervals.len() - 1 } else { intervals.len() };
+    let body = &intervals[lo..hi];
+    let simpoints = select(body, &cfg.selection);
+    let total_insts: u64 = intervals.iter().map(|iv| iv.len).sum();
+    let points = simpoints
+        .points
+        .iter()
+        .map(|p| crate::plan::PlanPoint { start: p.start, len: p.len, weight: p.weight })
+        .collect();
+    let plan = SimulationPlan::new(points, total_insts)?;
+    Ok(CoastsOutcome { plan, simpoints, intervals, profile, header })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpa_workloads::spec::{BenchmarkSpec, PhaseSpec, ScriptEntry};
+
+    fn multi_phase_cb(phases: usize, iters: usize) -> CompiledBenchmark {
+        let spec = BenchmarkSpec {
+            phases: (0..phases)
+                .map(|i| PhaseSpec { name: format!("p{i}"), ..PhaseSpec::default() })
+                .collect(),
+            script: (0..iters).map(|i| ScriptEntry::new(i % phases, 60_000)).collect(),
+            ..BenchmarkSpec::default()
+        };
+        CompiledBenchmark::compile(&spec).unwrap()
+    }
+
+    #[test]
+    fn selects_earliest_instances() {
+        let cb = multi_phase_cb(2, 10);
+        let out = coasts(&cb, &CoastsConfig::default()).unwrap();
+        // Earliest instances of both phases are within the first few
+        // intervals, so the last point sits very early.
+        assert!(
+            out.plan.last_position() < 0.45,
+            "last coarse point at {:.2}",
+            out.plan.last_position()
+        );
+        assert!(out.plan.len() <= 3);
+        assert_eq!(out.header, cb.outer_header());
+    }
+
+    #[test]
+    fn coarse_points_are_iteration_sized() {
+        let cb = multi_phase_cb(2, 10);
+        let out = coasts(&cb, &CoastsConfig::default()).unwrap();
+        for p in out.plan.points() {
+            // Points are whole outer iterations (~60 k) or the prologue.
+            assert!(p.len > 500, "point of len {} too small", p.len);
+        }
+        let mean = out.plan.mean_point_len();
+        assert!(mean > 10_000.0, "mean coarse point len {mean}");
+    }
+
+    #[test]
+    fn functional_fraction_is_small() {
+        // With early phase first-occurrences, fast-forward is tiny
+        // compared to fine-grained SimPoint's ~94 %.
+        let cb = multi_phase_cb(3, 30);
+        let out = coasts(&cb, &CoastsConfig::default()).unwrap();
+        assert!(
+            out.plan.functional_fraction() < 0.30,
+            "functional fraction {:.2}",
+            out.plan.functional_fraction()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cb = multi_phase_cb(2, 8);
+        let cfg = CoastsConfig::default();
+        let a = coasts(&cb, &cfg).unwrap();
+        let b = coasts(&cb, &cfg).unwrap();
+        assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn respects_kmax() {
+        let cb = multi_phase_cb(5, 25);
+        let mut cfg = CoastsConfig::default();
+        cfg.selection.k_max = 2;
+        let out = coasts(&cb, &cfg).unwrap();
+        assert!(out.plan.len() <= 2);
+    }
+
+    #[test]
+    fn impossible_coverage_errors() {
+        let cb = multi_phase_cb(1, 4);
+        let cfg = CoastsConfig { min_coverage: 1.5, ..CoastsConfig::default() };
+        let err = coasts(&cb, &cfg).unwrap_err();
+        assert!(err.contains("no cyclic structure"), "{err}");
+    }
+
+    #[test]
+    fn intervals_cover_trace() {
+        let cb = multi_phase_cb(2, 6);
+        let out = coasts(&cb, &CoastsConfig::default()).unwrap();
+        mlpa_phase::interval::validate_intervals(&out.intervals).unwrap();
+        let total: u64 = out.intervals.iter().map(|iv| iv.len).sum();
+        assert_eq!(total, out.plan.total_insts());
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! Multi-level phase analysis for sampling simulation — the primary
+//! contribution of the DATE 2013 paper, reproduced as a Rust library.
+//!
+//! The library turns a benchmark into an *executable sampling plan* and
+//! executes it, three ways:
+//!
+//! | Method | Builder | Granularity | Selection |
+//! |---|---|---|---|
+//! | SimPoint baseline | [`pipeline::simpoint_baseline`] | fixed 10 k (≙ 10 M) intervals, `Kmax = 30` | closest to centroid |
+//! | COASTS | [`coasts::coasts`] | outer-loop iterations, `Kmax = 3` | **earliest instance** |
+//! | Multi-level | [`multilevel::multilevel`] | COASTS, then fine re-sampling of points > 300 k (≙ 300 M) | composed |
+//!
+//! A [`plan::SimulationPlan`] carries the Table III accounting (detail
+//! %, functional %, point count, last-point position);
+//! [`estimate::execute_plan`] runs it against a
+//! [`MachineConfig`](mlpa_sim::MachineConfig) for the Table II accuracy
+//! comparison; [`timing::CostModel`] turns plan accounting into the
+//! Fig. 3/4 speedups.
+//!
+//! # Example: the whole paper in ten lines
+//!
+//! ```
+//! use mlpa_core::prelude::*;
+//! use mlpa_workloads::{suite, CompiledBenchmark};
+//!
+//! let spec = suite::benchmark("lucas").unwrap().scaled(0.05);
+//! let cb = CompiledBenchmark::compile(&spec)?;
+//! let baseline = simpoint_baseline(&cb, FINE_INTERVAL, &SimPointConfig::fine_10m(),
+//!     &ProjectionSettings::default())?;
+//! let multi = multilevel(&cb, &MultilevelConfig::default())?;
+//! let speedup = CostModel::paper_implied().speedup(&baseline.plan, &multi.plan);
+//! assert!(speedup > 1.0, "multi-level beats SimPoint, got {speedup:.2}x");
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod coasts;
+pub mod estimate;
+pub mod files;
+pub mod multilevel;
+pub mod pipeline;
+pub mod plan;
+pub mod stats;
+pub mod systematic;
+pub mod timing;
+
+pub use coasts::{coasts, CoastsConfig, CoastsOutcome};
+pub use estimate::{execute_plan, ground_truth, ExecutionCost, ExecutionOutcome, WarmupMode};
+pub use multilevel::{multilevel, MultilevelConfig, MultilevelOutcome};
+pub use pipeline::{
+    plan_from_points, simpoint_baseline, FineOutcome, ProjectionSettings, FINE_INTERVAL,
+    RESAMPLE_THRESHOLD,
+};
+pub use plan::{PlanPoint, SimulationPlan};
+pub use timing::CostModel;
+
+/// Convenience re-exports for the common workflow.
+pub mod prelude {
+    pub use crate::coasts::{coasts, CoastsConfig};
+    pub use crate::estimate::{execute_plan, ground_truth, WarmupMode};
+    pub use crate::multilevel::{multilevel, MultilevelConfig};
+    pub use crate::pipeline::{
+        simpoint_baseline, ProjectionSettings, FINE_INTERVAL, RESAMPLE_THRESHOLD,
+    };
+    pub use crate::plan::SimulationPlan;
+    pub use crate::stats::{geometric_mean, mean, worst};
+    pub use crate::timing::CostModel;
+    pub use mlpa_phase::simpoint::SimPointConfig;
+}

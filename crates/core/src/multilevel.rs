@@ -1,0 +1,243 @@
+//! Multi-level sampling (the paper's §IV-B): COASTS first, then
+//! fine-grained re-sampling of every coarse simulation point larger
+//! than a threshold.
+//!
+//! The fine points inside a coarse point represent only *that point*,
+//! not the whole program, so far fewer are needed than pure fine-grained
+//! SimPoint selects — that is where the detailed-simulation savings come
+//! from. Weights compose multiplicatively: a fine point with weight `w_f`
+//! inside a coarse point of weight `w_c` carries `w_c · w_f` in the
+//! whole-program estimate.
+
+use crate::coasts::{coasts, CoastsConfig, CoastsOutcome};
+use crate::pipeline::{FINE_INTERVAL, RESAMPLE_THRESHOLD};
+use crate::plan::{PlanPoint, SimulationPlan};
+use mlpa_phase::interval::FixedLengthProfiler;
+use mlpa_phase::simpoint::{select, SimPointConfig, SimPoints};
+use mlpa_sim::functional::Warming;
+use mlpa_sim::FunctionalSim;
+use mlpa_workloads::{CompiledBenchmark, WorkloadStream};
+
+/// Multi-level sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultilevelConfig {
+    /// First-level (coarse) parameters.
+    pub coasts: CoastsConfig,
+    /// Second-level (fine) clustering/selection parameters.
+    pub fine: SimPointConfig,
+    /// Fine interval length (the paper's 10 M, scaled).
+    pub fine_interval: u64,
+    /// Re-sample threshold: coarse points larger than this get
+    /// re-sampled (the paper's 10 M × Kmax = 300 M, scaled).
+    pub threshold: u64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            coasts: CoastsConfig::default(),
+            fine: SimPointConfig::fine_10m(),
+            fine_interval: FINE_INTERVAL,
+            threshold: RESAMPLE_THRESHOLD,
+        }
+    }
+}
+
+/// Diagnostics for one re-sampled coarse point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResampledPoint {
+    /// Start of the coarse point in the trace.
+    pub coarse_start: u64,
+    /// Length of the coarse point.
+    pub coarse_len: u64,
+    /// The fine selection inside it (starts are relative to
+    /// `coarse_start`).
+    pub fine: SimPoints,
+}
+
+/// Everything multi-level sampling produces for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultilevelOutcome {
+    /// The executable multi-level plan.
+    pub plan: SimulationPlan,
+    /// The first-level outcome.
+    pub coasts: CoastsOutcome,
+    /// Which coarse points were re-sampled, with their fine selections.
+    pub resampled: Vec<ResampledPoint>,
+}
+
+/// Run multi-level sampling on a compiled benchmark.
+///
+/// # Errors
+///
+/// Propagates COASTS errors (no significant cyclic structure / empty
+/// trace).
+///
+/// # Example
+///
+/// ```
+/// use mlpa_core::multilevel::{multilevel, MultilevelConfig};
+/// use mlpa_workloads::{suite, CompiledBenchmark};
+///
+/// let spec = suite::benchmark("lucas").unwrap().scaled(0.05);
+/// let cb = CompiledBenchmark::compile(&spec)?;
+/// let out = multilevel(&cb, &MultilevelConfig::default())?;
+/// // Multi-level detail volume never exceeds the coarse plan's.
+/// assert!(out.plan.detailed_insts() <= out.coasts.plan.detailed_insts());
+/// # Ok::<(), String>(())
+/// ```
+pub fn multilevel(
+    cb: &CompiledBenchmark,
+    cfg: &MultilevelConfig,
+) -> Result<MultilevelOutcome, String> {
+    let first = coasts(cb, &cfg.coasts)?;
+    let projection = cfg.coasts.projection.build(cb);
+
+    let mut points: Vec<PlanPoint> = Vec::new();
+    let mut resampled = Vec::new();
+
+    // One shared pass: coarse points are sorted, so fast-forward and
+    // profile each window in trace order.
+    let mut stream = WorkloadStream::new(cb);
+    let mut func = FunctionalSim::new(cb.program());
+    let mut pos = 0u64;
+
+    for cp in first.plan.points() {
+        if cp.len <= cfg.threshold {
+            points.push(*cp);
+            continue;
+        }
+        // Fast-forward to the coarse point.
+        let skip = cp.start.saturating_sub(pos);
+        pos += func.fast_forward(&mut stream, skip, &mut (), Warming::None, None);
+        // Profile fine intervals inside the window.
+        let mut prof = FixedLengthProfiler::new(&projection, cfg.fine_interval);
+        pos += func.fast_forward(&mut stream, cp.len, &mut prof, Warming::None, None);
+        let intervals = prof.finish();
+        if intervals.is_empty() {
+            points.push(*cp);
+            continue;
+        }
+        // The window's first fine interval carries the inter-phase
+        // transition (predictor/L1 re-warm after the previous coarse
+        // phase) — behaviour that occurs once per window, not per
+        // phase. Like COASTS's prologue rule, it is excluded from
+        // classification so it can neither be selected as a
+        // representative nor skew the weights (its ~1/50 window share
+        // is simply fast-forwarded).
+        let body = if intervals.len() > 2 { &intervals[1..] } else { &intervals[..] };
+        let fine = select(body, &cfg.fine);
+        for fp in &fine.points {
+            points.push(PlanPoint {
+                start: cp.start + fp.start,
+                len: fp.len,
+                weight: cp.weight * fp.weight,
+            });
+        }
+        resampled.push(ResampledPoint { coarse_start: cp.start, coarse_len: cp.len, fine });
+    }
+
+    points.sort_by_key(|p| p.start);
+    let plan = SimulationPlan::new(points, first.plan.total_insts())?;
+    Ok(MultilevelOutcome { plan, coasts: first, resampled })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpa_workloads::spec::{BenchmarkSpec, PhaseSpec, ScriptEntry};
+
+    /// A benchmark whose outer iterations (≈ 500 k) exceed the 300 k
+    /// threshold, so every coarse point gets re-sampled.
+    fn big_iteration_cb() -> CompiledBenchmark {
+        let spec = BenchmarkSpec {
+            phases: vec![
+                PhaseSpec { name: "a".into(), ..PhaseSpec::default() },
+                PhaseSpec { name: "b".into(), ..PhaseSpec::default() },
+            ],
+            script: (0..8).map(|i| ScriptEntry::new(i % 2, 500_000)).collect(),
+            ..BenchmarkSpec::default()
+        };
+        CompiledBenchmark::compile(&spec).unwrap()
+    }
+
+    /// A benchmark with small iterations: nothing to re-sample.
+    fn small_iteration_cb() -> CompiledBenchmark {
+        let spec = BenchmarkSpec {
+            script: vec![ScriptEntry::new(0, 50_000); 8],
+            ..BenchmarkSpec::default()
+        };
+        CompiledBenchmark::compile(&spec).unwrap()
+    }
+
+    #[test]
+    fn resamples_only_above_threshold() {
+        let cfg = MultilevelConfig::default();
+
+        let big = multilevel(&big_iteration_cb(), &cfg).unwrap();
+        assert!(!big.resampled.is_empty(), "500k points must be re-sampled");
+
+        let small = multilevel(&small_iteration_cb(), &cfg).unwrap();
+        assert!(small.resampled.is_empty(), "50k points stay whole");
+        assert_eq!(small.plan, small.coasts.plan, "plan unchanged when nothing re-sampled");
+    }
+
+    #[test]
+    fn fine_points_stay_inside_their_coarse_point() {
+        let out = multilevel(&big_iteration_cb(), &MultilevelConfig::default()).unwrap();
+        for r in &out.resampled {
+            for fp in &r.fine.points {
+                assert!(fp.start + fp.len <= r.coarse_len + 200, "fine point escapes window");
+            }
+        }
+        // Every plan point lies inside some coarse point.
+        for p in out.plan.points() {
+            let inside = out
+                .coasts
+                .plan
+                .points()
+                .iter()
+                .any(|cp| p.start >= cp.start && p.start + p.len <= cp.end() + 200);
+            assert!(inside, "plan point at {} outside all coarse points", p.start);
+        }
+    }
+
+    #[test]
+    fn weights_compose_to_one() {
+        let out = multilevel(&big_iteration_cb(), &MultilevelConfig::default()).unwrap();
+        let sum: f64 = out.plan.points().iter().map(|p| p.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-6, "weights sum to {sum}");
+    }
+
+    #[test]
+    fn detail_volume_shrinks_dramatically() {
+        let out = multilevel(&big_iteration_cb(), &MultilevelConfig::default()).unwrap();
+        assert!(
+            out.plan.detailed_insts() * 4 < out.coasts.plan.detailed_insts(),
+            "multi-level detail {} vs coarse {}",
+            out.plan.detailed_insts(),
+            out.coasts.plan.detailed_insts()
+        );
+    }
+
+    #[test]
+    fn functional_no_worse_than_last_coarse_end() {
+        let out = multilevel(&big_iteration_cb(), &MultilevelConfig::default()).unwrap();
+        assert!(out.plan.last_end() <= out.coasts.plan.last_end() + 200);
+    }
+
+    #[test]
+    fn threshold_zero_resamples_everything() {
+        let cfg = MultilevelConfig { threshold: 0, ..MultilevelConfig::default() };
+        let out = multilevel(&small_iteration_cb(), &cfg).unwrap();
+        assert_eq!(out.resampled.len(), out.coasts.plan.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = MultilevelConfig::default();
+        let a = multilevel(&big_iteration_cb(), &cfg).unwrap();
+        let b = multilevel(&big_iteration_cb(), &cfg).unwrap();
+        assert_eq!(a.plan, b.plan);
+    }
+}

@@ -1,0 +1,187 @@
+//! Shared plumbing: projection settings, profiling passes, and the
+//! fine-grained (SimPoint-baseline) plan builder.
+
+use crate::plan::{PlanPoint, SimulationPlan};
+use mlpa_phase::interval::{FixedLengthProfiler, Interval};
+use mlpa_phase::project::RandomProjection;
+use mlpa_phase::simpoint::{select, SimPointConfig, SimPoints};
+use mlpa_sim::FunctionalSim;
+use mlpa_workloads::{CompiledBenchmark, WorkloadStream};
+
+/// The scaled fine-grained interval length: the paper's 10 M
+/// instructions at the repo's 1000× scale-down.
+pub const FINE_INTERVAL: u64 = 10_000;
+
+/// The scaled multi-level re-sampling threshold: the paper's
+/// 10 M × Kmax(30) = 300 M instructions, scaled.
+pub const RESAMPLE_THRESHOLD: u64 = 300_000;
+
+/// Random-projection settings shared by all profiling passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProjectionSettings {
+    /// Output dimensionality (SimPoint uses 15).
+    pub dim: usize,
+    /// Seed of the projection matrix.
+    pub seed: u64,
+}
+
+impl Default for ProjectionSettings {
+    fn default() -> Self {
+        ProjectionSettings { dim: mlpa_phase::project::DEFAULT_DIM, seed: 0x5349_4D50 }
+    }
+}
+
+impl ProjectionSettings {
+    /// Materialise the projection for a benchmark's program.
+    pub fn build(&self, cb: &CompiledBenchmark) -> RandomProjection {
+        RandomProjection::new(cb.program().num_blocks(), self.dim, self.seed)
+    }
+}
+
+/// Profile a benchmark into fixed-length intervals (one functional
+/// pass).
+pub fn profile_fixed(
+    cb: &CompiledBenchmark,
+    interval_len: u64,
+    proj: &RandomProjection,
+) -> Vec<Interval> {
+    let mut prof = FixedLengthProfiler::new(proj, interval_len);
+    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut prof);
+    prof.finish()
+}
+
+/// Convert selected simulation points into an executable plan.
+///
+/// # Errors
+///
+/// Propagates [`SimulationPlan::new`]'s validation errors (they indicate
+/// a profiler or selector bug, not user error).
+pub fn plan_from_points(sp: &SimPoints) -> Result<SimulationPlan, String> {
+    let points = sp
+        .points
+        .iter()
+        .map(|p| PlanPoint { start: p.start, len: p.len, weight: p.weight })
+        .collect();
+    SimulationPlan::new(points, sp.total_insts)
+}
+
+/// Outcome of a fine-grained (SimPoint-baseline) selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FineOutcome {
+    /// The executable plan.
+    pub plan: SimulationPlan,
+    /// The raw selection (clusters, BIC diagnostics).
+    pub simpoints: SimPoints,
+    /// Interval length used.
+    pub interval_len: u64,
+}
+
+/// The paper's baseline: fixed-length SimPoint (10 M-equivalent
+/// intervals, `Kmax = 30`).
+///
+/// # Errors
+///
+/// Returns an error if the trace is empty (a spec that generates no
+/// instructions).
+///
+/// # Example
+///
+/// ```
+/// use mlpa_core::pipeline::{simpoint_baseline, ProjectionSettings, FINE_INTERVAL};
+/// use mlpa_phase::simpoint::SimPointConfig;
+/// use mlpa_workloads::{spec::BenchmarkSpec, CompiledBenchmark};
+///
+/// let cb = CompiledBenchmark::compile(&BenchmarkSpec::default())?;
+/// let out = simpoint_baseline(
+///     &cb,
+///     FINE_INTERVAL,
+///     &SimPointConfig::fine_10m(),
+///     &ProjectionSettings::default(),
+/// )?;
+/// assert!(out.plan.len() >= 1);
+/// # Ok::<(), String>(())
+/// ```
+pub fn simpoint_baseline(
+    cb: &CompiledBenchmark,
+    interval_len: u64,
+    cfg: &SimPointConfig,
+    proj: &ProjectionSettings,
+) -> Result<FineOutcome, String> {
+    let projection = proj.build(cb);
+    let intervals = profile_fixed(cb, interval_len, &projection);
+    if intervals.is_empty() {
+        return Err(format!("benchmark {} produced an empty trace", cb.spec().name));
+    }
+    let simpoints = select(&intervals, cfg);
+    let plan = plan_from_points(&simpoints)?;
+    Ok(FineOutcome { plan, simpoints, interval_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpa_workloads::spec::{BenchmarkSpec, PhaseSpec, ScriptEntry};
+
+    fn two_phase_cb() -> CompiledBenchmark {
+        let spec = BenchmarkSpec {
+            phases: vec![
+                PhaseSpec { name: "a".into(), ..PhaseSpec::default() },
+                PhaseSpec { name: "b".into(), ..PhaseSpec::default() },
+            ],
+            script: (0..8).map(|i| ScriptEntry::new(i % 2, 50_000)).collect(),
+            ..BenchmarkSpec::default()
+        };
+        CompiledBenchmark::compile(&spec).unwrap()
+    }
+
+    #[test]
+    fn baseline_produces_valid_plan() {
+        let cb = two_phase_cb();
+        let out = simpoint_baseline(
+            &cb,
+            FINE_INTERVAL,
+            &mlpa_phase::simpoint::SimPointConfig::fine_10m(),
+            &ProjectionSettings::default(),
+        )
+        .unwrap();
+        assert!(out.plan.len() >= 2, "two phases need at least two points");
+        assert!(out.plan.detail_fraction() < 0.5);
+        // Fine plan points are one interval long (the trailing partial
+        // interval may be shorter).
+        let total = out.plan.total_insts();
+        for p in out.plan.points() {
+            assert!(p.len < FINE_INTERVAL + 200);
+            assert!(p.len >= FINE_INTERVAL || p.end() == total, "short non-final point");
+        }
+    }
+
+    #[test]
+    fn scaled_constants_match_paper_ratios() {
+        // 10 M / 1000 and 10 M × 30 / 1000.
+        assert_eq!(FINE_INTERVAL, 10_000);
+        assert_eq!(RESAMPLE_THRESHOLD, 30 * FINE_INTERVAL);
+    }
+
+    #[test]
+    fn projection_settings_are_stable() {
+        let cb = two_phase_cb();
+        let a = ProjectionSettings::default().build(&cb);
+        let b = ProjectionSettings::default().build(&cb);
+        let raw = vec![1.0; cb.program().num_blocks()];
+        assert_eq!(a.project(&raw), b.project(&raw));
+    }
+
+    #[test]
+    fn plan_matches_simpoints_accounting() {
+        let cb = two_phase_cb();
+        let out = simpoint_baseline(
+            &cb,
+            FINE_INTERVAL,
+            &mlpa_phase::simpoint::SimPointConfig::fine_10m(),
+            &ProjectionSettings::default(),
+        )
+        .unwrap();
+        assert_eq!(out.plan.detailed_insts(), out.simpoints.detailed_insts());
+        assert!((out.plan.last_position() - out.simpoints.last_position()).abs() < 1e-12);
+    }
+}

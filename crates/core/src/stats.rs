@@ -1,0 +1,129 @@
+//! Small statistics helpers used by the evaluation (the paper reports
+//! geometric means throughout).
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_core::stats::geometric_mean;
+///
+/// assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of nothing");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n − 1 denominator); 0 for fewer than two
+/// values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Standard error of the mean (`std_dev / √n`); 0 for fewer than two
+/// values.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_core::stats::standard_error;
+///
+/// let se = standard_error(&[1.0, 2.0, 3.0, 4.0]);
+/// assert!(se > 0.0 && se < 1.0);
+/// ```
+pub fn standard_error(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    std_dev(values) / (values.len() as f64).sqrt()
+}
+
+/// Maximum (the paper's "Worst" columns).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+pub fn worst(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "worst of nothing");
+    values
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("no NaNs"))
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_identical_is_identity() {
+        assert!((geometric_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_below_arithmetic() {
+        let v = [1.0, 10.0, 100.0];
+        assert!(geometric_mean(&v) < mean(&v));
+        assert!((geometric_mean(&v) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_picks_max() {
+        assert_eq!(worst(&[0.1, 0.9, 0.5]), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geometric_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "of nothing")]
+    fn empty_panics() {
+        let _ = mean(&[]);
+    }
+}
+
+#[cfg(test)]
+mod stats_extra_tests {
+    use super::*;
+
+    #[test]
+    fn std_dev_and_stderr() {
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(standard_error(&[5.0]), 0.0);
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // Known sample std dev of this classic dataset ≈ 2.138.
+        assert!((std_dev(&v) - 2.138).abs() < 0.01, "{}", std_dev(&v));
+        assert!((standard_error(&v) - 2.138 / 8f64.sqrt()).abs() < 0.01);
+    }
+}

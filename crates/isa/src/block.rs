@@ -1,0 +1,113 @@
+//! Static basic blocks.
+
+use std::fmt;
+
+/// Identifier of a static basic block.
+///
+/// Block ids are dense indices into a [`Program`](crate::Program)'s block
+/// table. Blocks are laid out at increasing addresses in id order, so id
+/// comparisons and address comparisons agree — which is what makes
+/// "backward branch" detection possible in the dynamic loop profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Create a block id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> BlockId {
+        BlockId(index)
+    }
+
+    /// Dense index of this block.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw id value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl From<u32> for BlockId {
+    fn from(v: u32) -> Self {
+        BlockId(v)
+    }
+}
+
+/// Static description of a basic block: where it lives and how big it is.
+///
+/// The *dynamic* contents (resolved addresses, branch outcomes) are
+/// produced per execution by the workload generator; the static record
+/// carries only what the simulators and profilers need to identify the
+/// block: its start address and instruction count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BasicBlock {
+    /// This block's id.
+    pub id: BlockId,
+    /// Start address in the (synthetic) text segment.
+    pub addr: u64,
+    /// Number of instructions in the block.
+    pub len: u32,
+}
+
+impl BasicBlock {
+    /// Address one past the last instruction of the block.
+    #[inline]
+    pub fn end_addr(&self) -> u64 {
+        self.addr + u64::from(self.len) * crate::program::INST_BYTES
+    }
+
+    /// Address of the `i`-th instruction in the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len`.
+    #[inline]
+    pub fn inst_addr(&self, i: u32) -> u64 {
+        assert!(i < self.len, "instruction index {i} out of block of len {}", self.len);
+        self.addr + u64::from(i) * crate::program::INST_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_roundtrip() {
+        let id = BlockId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(BlockId::from(42u32), id);
+        assert_eq!(id.to_string(), "B42");
+    }
+
+    #[test]
+    fn block_addresses() {
+        let b = BasicBlock { id: BlockId::new(0), addr: 0x100, len: 4 };
+        assert_eq!(b.inst_addr(0), 0x100);
+        assert_eq!(b.inst_addr(3), 0x100 + 3 * crate::program::INST_BYTES);
+        assert_eq!(b.end_addr(), 0x100 + 4 * crate::program::INST_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of block")]
+    fn inst_addr_bounds_checked() {
+        let b = BasicBlock { id: BlockId::new(0), addr: 0, len: 2 };
+        let _ = b.inst_addr(2);
+    }
+
+    #[test]
+    fn ordering_matches_index() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+    }
+}

@@ -1,0 +1,341 @@
+//! Dynamic instructions: what an execution trace is made of.
+//!
+//! An [`Instruction`] is an already-*resolved* trace record: memory
+//! operations carry their effective address, branches carry their actual
+//! direction and target. The detailed simulator is trace-driven — it
+//! models timing (dependences, structural hazards, cache misses, branch
+//! misprediction penalties) over the committed path, which is the
+//! standard methodology for sampling-simulation studies.
+
+use crate::block::BlockId;
+use crate::op::OpClass;
+use std::fmt;
+
+/// An architectural register.
+///
+/// Registers 0..32 are the integer file, 32..64 the floating-point file
+/// (32 + 32 as in Table I of the paper). [`Reg::NONE`] marks an absent
+/// operand inside the compact operand arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of integer architectural registers.
+    pub const NUM_INT: u8 = 32;
+    /// Number of floating-point architectural registers.
+    pub const NUM_FP: u8 = 32;
+    /// Total architectural registers across both files.
+    pub const NUM_TOTAL: u8 = Self::NUM_INT + Self::NUM_FP;
+    /// Sentinel for "no register".
+    pub const NONE: Reg = Reg(u8::MAX);
+
+    /// Integer register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[inline]
+    pub fn int(i: u8) -> Reg {
+        assert!(i < Self::NUM_INT, "integer register index {i} out of range");
+        Reg(i)
+    }
+
+    /// Floating-point register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[inline]
+    pub fn fp(i: u8) -> Reg {
+        assert!(i < Self::NUM_FP, "fp register index {i} out of range");
+        Reg(Self::NUM_INT + i)
+    }
+
+    /// Whether this is the "no register" sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+
+    /// Whether this names a real register.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        !self.is_none()
+    }
+
+    /// Flat index (0..64) into a combined register file; the sentinel has
+    /// no index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Reg::NONE`].
+    #[inline]
+    pub fn index(self) -> usize {
+        assert!(self.is_some(), "Reg::NONE has no index");
+        self.0 as usize
+    }
+
+    /// Whether this register belongs to the floating-point file.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.is_some() && self.0 >= Self::NUM_INT
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "r--")
+        } else if self.is_fp() {
+            write!(f, "f{}", self.0 - Self::NUM_INT)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// Kind of a control-transfer instruction; the branch predictor treats
+/// each kind differently (BTB, return-address stack, direction table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch (predicted by the direction predictor).
+    Conditional,
+    /// Unconditional direct jump (always taken, BTB supplies the target).
+    Jump,
+    /// Function call (pushes the return-address stack).
+    Call,
+    /// Function return (pops the return-address stack).
+    Return,
+    /// Indirect jump through a register (BTB-predicted target).
+    Indirect,
+}
+
+/// Resolved outcome of a control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Static kind of the branch.
+    pub kind: BranchKind,
+    /// Actual direction: `true` if the branch was taken.
+    pub taken: bool,
+    /// Actual successor block (fall-through block when not taken).
+    pub target: BlockId,
+}
+
+/// One dynamic instruction in an execution trace.
+///
+/// Compact and `Copy`; streams produce these in block-sized batches so
+/// the simulators never allocate per instruction.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_isa::{Instruction, OpClass, Reg};
+///
+/// let ld = Instruction::load(Reg::int(4), Reg::int(5), 0x1000);
+/// assert_eq!(ld.op, OpClass::Load);
+/// assert_eq!(ld.addr, 0x1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Operation class (determines latency and functional unit).
+    pub op: OpClass,
+    /// Destination register, or [`Reg::NONE`].
+    pub dst: Reg,
+    /// Source registers; unused slots hold [`Reg::NONE`].
+    pub srcs: [Reg; 2],
+    /// Effective address for loads/stores; 0 otherwise.
+    pub addr: u64,
+    /// Branch outcome for control transfers; `None` otherwise.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Instruction {
+    /// A register-to-register computational instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is a memory or branch class.
+    #[inline]
+    pub fn alu(op: OpClass, dst: Reg, srcs: [Reg; 2]) -> Instruction {
+        assert!(
+            !op.is_mem() && !op.is_branch(),
+            "alu() requires a computational op class, got {op}"
+        );
+        Instruction { op, dst, srcs, addr: 0, branch: None }
+    }
+
+    /// A load from `addr` into `dst`, with `base` as the address operand.
+    #[inline]
+    pub fn load(dst: Reg, base: Reg, addr: u64) -> Instruction {
+        Instruction {
+            op: OpClass::Load,
+            dst,
+            srcs: [base, Reg::NONE],
+            addr,
+            branch: None,
+        }
+    }
+
+    /// A store of `value` to `addr`, with `base` as the address operand.
+    #[inline]
+    pub fn store(value: Reg, base: Reg, addr: u64) -> Instruction {
+        Instruction {
+            op: OpClass::Store,
+            dst: Reg::NONE,
+            srcs: [base, value],
+            addr,
+            branch: None,
+        }
+    }
+
+    /// A control-transfer instruction with a resolved outcome. `cond` is
+    /// the register tested by conditional branches ([`Reg::NONE`] for
+    /// unconditional kinds).
+    #[inline]
+    pub fn branch(kind: BranchKind, cond: Reg, taken: bool, target: BlockId) -> Instruction {
+        Instruction {
+            op: OpClass::Branch,
+            dst: Reg::NONE,
+            srcs: [cond, Reg::NONE],
+            addr: 0,
+            branch: Some(BranchInfo { kind, taken, target }),
+        }
+    }
+
+    /// A no-op.
+    #[inline]
+    pub fn nop() -> Instruction {
+        Instruction {
+            op: OpClass::Nop,
+            dst: Reg::NONE,
+            srcs: [Reg::NONE, Reg::NONE],
+            addr: 0,
+            branch: None,
+        }
+    }
+
+    /// `true` for loads and stores.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.op.is_mem()
+    }
+
+    /// `true` for control transfers.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.op.is_branch()
+    }
+
+    /// Iterator over the real (non-sentinel) source registers.
+    #[inline]
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().copied().filter(|r| r.is_some())
+    }
+}
+
+impl Default for Instruction {
+    fn default() -> Self {
+        Instruction::nop()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            OpClass::Load => write!(f, "load {} <- [{:#x}]", self.dst, self.addr),
+            OpClass::Store => write!(f, "store {} -> [{:#x}]", self.srcs[1], self.addr),
+            OpClass::Branch => {
+                let b = self.branch.expect("branch op must carry BranchInfo");
+                write!(
+                    f,
+                    "{:?} {} -> {}",
+                    b.kind,
+                    if b.taken { "taken" } else { "not-taken" },
+                    b.target
+                )
+            }
+            op => write!(f, "{op} {} <- {}, {}", self.dst, self.srcs[0], self.srcs[1]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_files_do_not_overlap() {
+        assert_ne!(Reg::int(0), Reg::fp(0));
+        assert_eq!(Reg::fp(0).index(), 32);
+        assert!(Reg::fp(3).is_fp());
+        assert!(!Reg::int(3).is_fp());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_int_bounds_checked() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_fp_bounds_checked() {
+        let _ = Reg::fp(32);
+    }
+
+    #[test]
+    fn none_sentinel_behaviour() {
+        assert!(Reg::NONE.is_none());
+        assert!(!Reg::NONE.is_fp());
+        assert!(Reg::int(0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no index")]
+    fn none_has_no_index() {
+        let _ = Reg::NONE.index();
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let ld = Instruction::load(Reg::int(1), Reg::int(2), 0xdead);
+        assert!(ld.is_mem());
+        assert_eq!(ld.addr, 0xdead);
+        assert_eq!(ld.sources().count(), 1);
+
+        let st = Instruction::store(Reg::int(3), Reg::int(4), 0xbeef);
+        assert!(st.is_mem());
+        assert!(st.dst.is_none());
+        assert_eq!(st.sources().count(), 2);
+
+        let br = Instruction::branch(BranchKind::Conditional, Reg::int(5), true, BlockId::new(7));
+        assert!(br.is_branch());
+        assert_eq!(br.branch.unwrap().target, BlockId::new(7));
+
+        let nop = Instruction::nop();
+        assert_eq!(nop.sources().count(), 0);
+        assert_eq!(Instruction::default(), nop);
+    }
+
+    #[test]
+    #[should_panic(expected = "computational op class")]
+    fn alu_rejects_memory_ops() {
+        let _ = Instruction::alu(OpClass::Load, Reg::int(0), [Reg::NONE, Reg::NONE]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let ld = Instruction::load(Reg::int(1), Reg::int(2), 0x10);
+        assert!(ld.to_string().contains("load"));
+        let br = Instruction::branch(BranchKind::Jump, Reg::NONE, true, BlockId::new(0));
+        assert!(br.to_string().contains("taken"));
+        assert!(!Reg::NONE.to_string().is_empty());
+    }
+
+    #[test]
+    fn instruction_is_compact() {
+        // The generators produce hundreds of millions of these; keep the
+        // trace record within a cache line's half.
+        assert!(std::mem::size_of::<Instruction>() <= 32);
+    }
+}

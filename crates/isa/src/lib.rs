@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! ISA and program IR for the `mlpa` sampling-simulation suite.
+//!
+//! This crate defines the vocabulary every other `mlpa` crate speaks:
+//!
+//! * [`OpClass`] — the operation classes of a small RISC-like instruction
+//!   set, together with their execution latencies and the functional-unit
+//!   pools ([`FuClass`]) that execute them.
+//! * [`Instruction`] — one *dynamic* instruction as it appears in an
+//!   execution trace: operation, register operands, resolved effective
+//!   address for memory operations, and resolved outcome for branches.
+//!   Streams of these drive both the functional and the detailed
+//!   (cycle-level) simulator in `mlpa-sim`.
+//! * [`BasicBlock`] / [`Program`] — the *static* side: basic blocks laid
+//!   out at increasing addresses, so "backward branch" is meaningful to
+//!   the dynamic loop detector in `mlpa-phase`.
+//! * [`rng::SplitMix64`] — the single, bit-reproducible source of
+//!   randomness used across the workspace (workload generation, random
+//!   projection, k-means seeding). Using our own documented PRNG keeps
+//!   every experiment reproducible across platforms and crate versions.
+//!
+//! # Example
+//!
+//! ```
+//! use mlpa_isa::{Instruction, OpClass, Reg};
+//!
+//! let add = Instruction::alu(OpClass::IntAlu, Reg::int(1), [Reg::int(2), Reg::int(3)]);
+//! assert_eq!(add.op, OpClass::IntAlu);
+//! assert!(!add.is_mem());
+//! ```
+
+pub mod block;
+pub mod inst;
+pub mod op;
+pub mod program;
+pub mod rng;
+pub mod stream;
+
+pub use block::{BasicBlock, BlockId};
+pub use inst::{BranchInfo, BranchKind, Instruction, Reg};
+pub use op::{FuClass, OpClass};
+pub use program::{Program, ProgramBuilder};
+pub use stream::InstructionStream;

@@ -1,0 +1,248 @@
+//! Operation classes, execution latencies, and functional-unit pools.
+//!
+//! The set mirrors what SimpleScalar's `sim-outorder` distinguishes for
+//! scheduling purposes: integer ALU ops, integer multiply/divide, FP
+//! add-class, FP multiply/divide, loads, stores, and branches.
+
+use std::fmt;
+
+/// Operation class of one instruction.
+///
+/// Latency and functional-unit requirements are derived from the class;
+/// the sampling methodology never needs actual data semantics, only the
+/// resource/behaviour class of each instruction.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_isa::{FuClass, OpClass};
+///
+/// assert_eq!(OpClass::Load.fu(), FuClass::LoadStore);
+/// assert!(OpClass::FpDiv.latency() > OpClass::FpMul.latency());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Integer add/sub/logic/shift/compare; 1-cycle.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (long latency, unpipelined).
+    IntDiv,
+    /// Floating-point add/sub/convert/compare.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide/sqrt (long latency, unpipelined).
+    FpDiv,
+    /// Memory load; latency comes from the cache hierarchy.
+    Load,
+    /// Memory store; retires through the store queue.
+    Store,
+    /// Control transfer (conditional, jump, call, return).
+    Branch,
+    /// No-op / system placeholder; occupies a slot only.
+    Nop,
+}
+
+/// Functional-unit pool that executes a given [`OpClass`].
+///
+/// Pool sizes are configured per machine in `mlpa-sim` (Table I of the
+/// paper: 8 integer ALUs, 4 load/store units, 2 FP adders, 2 integer
+/// MULT/DIV, 2 FP MULT/DIV for the base configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuClass {
+    /// Integer ALU pool (also executes branches and nops).
+    IntAlu,
+    /// Integer multiplier/divider pool.
+    IntMulDiv,
+    /// Floating-point adder pool.
+    FpAdd,
+    /// Floating-point multiplier/divider pool.
+    FpMulDiv,
+    /// Load/store (address-generation + memory port) pool.
+    LoadStore,
+}
+
+/// All operation classes, in a fixed order usable for table indexing.
+pub const ALL_OP_CLASSES: [OpClass; 10] = [
+    OpClass::IntAlu,
+    OpClass::IntMul,
+    OpClass::IntDiv,
+    OpClass::FpAdd,
+    OpClass::FpMul,
+    OpClass::FpDiv,
+    OpClass::Load,
+    OpClass::Store,
+    OpClass::Branch,
+    OpClass::Nop,
+];
+
+impl OpClass {
+    /// Execution latency in cycles, *excluding* memory-hierarchy latency
+    /// for loads/stores (the simulator adds cache latency on top of the
+    /// 1-cycle address generation modelled here).
+    #[inline]
+    pub fn latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Nop => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 20,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            OpClass::Load | OpClass::Store => 1,
+        }
+    }
+
+    /// Whether the unit executing this class is pipelined (can accept a
+    /// new operation every cycle). Divides are classically unpipelined.
+    #[inline]
+    pub fn pipelined(self) -> bool {
+        !matches!(self, OpClass::IntDiv | OpClass::FpDiv)
+    }
+
+    /// Functional-unit pool required by this class.
+    #[inline]
+    pub fn fu(self) -> FuClass {
+        match self {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Nop => FuClass::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuClass::IntMulDiv,
+            OpClass::FpAdd => FuClass::FpAdd,
+            OpClass::FpMul | OpClass::FpDiv => FuClass::FpMulDiv,
+            OpClass::Load | OpClass::Store => FuClass::LoadStore,
+        }
+    }
+
+    /// `true` for loads and stores.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// `true` for control-transfer instructions.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::Branch)
+    }
+
+    /// `true` for floating-point classes (used by the register allocator
+    /// in the workload generator to pick FP vs integer registers).
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// Stable small index (0..10) for building per-class tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::IntDiv => 2,
+            OpClass::FpAdd => 3,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 5,
+            OpClass::Load => 6,
+            OpClass::Store => 7,
+            OpClass::Branch => 8,
+            OpClass::Nop => 9,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "ialu",
+            OpClass::IntMul => "imul",
+            OpClass::IntDiv => "idiv",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::IntAlu => "int-alu",
+            FuClass::IntMulDiv => "int-muldiv",
+            FuClass::FpAdd => "fp-add",
+            FuClass::FpMulDiv => "fp-muldiv",
+            FuClass::LoadStore => "load-store",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; 10];
+        for op in ALL_OP_CLASSES {
+            let i = op.index();
+            assert!(i < 10);
+            assert!(!seen[i], "duplicate index for {op}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn latency_ordering_is_sensible() {
+        assert_eq!(OpClass::IntAlu.latency(), 1);
+        assert!(OpClass::IntDiv.latency() > OpClass::IntMul.latency());
+        assert!(OpClass::FpDiv.latency() > OpClass::FpMul.latency());
+        assert!(OpClass::FpMul.latency() > OpClass::FpAdd.latency());
+    }
+
+    #[test]
+    fn divides_are_unpipelined() {
+        assert!(!OpClass::IntDiv.pipelined());
+        assert!(!OpClass::FpDiv.pipelined());
+        assert!(OpClass::IntMul.pipelined());
+        assert!(OpClass::Load.pipelined());
+    }
+
+    #[test]
+    fn fu_assignment_matches_class_family() {
+        assert_eq!(OpClass::Branch.fu(), FuClass::IntAlu);
+        assert_eq!(OpClass::IntMul.fu(), FuClass::IntMulDiv);
+        assert_eq!(OpClass::IntDiv.fu(), FuClass::IntMulDiv);
+        assert_eq!(OpClass::Load.fu(), FuClass::LoadStore);
+        assert_eq!(OpClass::Store.fu(), FuClass::LoadStore);
+        assert_eq!(OpClass::FpAdd.fu(), FuClass::FpAdd);
+        assert_eq!(OpClass::FpDiv.fu(), FuClass::FpMulDiv);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+        assert!(OpClass::Branch.is_branch());
+        assert!(OpClass::FpAdd.is_fp());
+        assert!(!OpClass::IntAlu.is_fp());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        let names: Vec<String> = ALL_OP_CLASSES.iter().map(|o| o.to_string()).collect();
+        for n in &names {
+            assert!(!n.is_empty());
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Static programs: a laid-out collection of basic blocks.
+
+use crate::block::{BasicBlock, BlockId};
+use std::fmt;
+
+/// Bytes per instruction in the synthetic text segment (fixed-width ISA).
+pub const INST_BYTES: u64 = 4;
+
+/// Base address of the text segment.
+pub const TEXT_BASE: u64 = 0x0040_0000;
+
+/// A static program: basic blocks laid out contiguously at increasing
+/// addresses, in id order.
+///
+/// The program is the static side of a workload. It answers questions the
+/// simulators and profilers ask — "where does block B live?", "how many
+/// static blocks exist?" (the BBV dimensionality) — while the dynamic
+/// instruction stream is produced separately by `mlpa-workloads`.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_isa::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new("demo");
+/// let b0 = b.add_block(3);
+/// let b1 = b.add_block(5);
+/// let prog = b.finish();
+/// assert_eq!(prog.num_blocks(), 2);
+/// assert!(prog.block(b1).addr > prog.block(b0).addr);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    blocks: Vec<BasicBlock>,
+}
+
+impl Program {
+    /// Program name (benchmark identifier).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of static basic blocks (the raw BBV dimensionality).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Look up a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a block of this program.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// All blocks in layout (= id) order.
+    #[inline]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Whether a control transfer from `from` to `to` is a *backward*
+    /// branch in the layout — the signal the dynamic loop detector uses
+    /// to discover loop headers.
+    #[inline]
+    pub fn is_backward(&self, from: BlockId, to: BlockId) -> bool {
+        self.block(to).addr <= self.block(from).addr
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} blocks)", self.name, self.blocks.len())
+    }
+}
+
+/// Builder for [`Program`]: append blocks, get ids back, finish.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    next_addr: u64,
+}
+
+impl ProgramBuilder {
+    /// Start building a program with the given name.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+            next_addr: TEXT_BASE,
+        }
+    }
+
+    /// Append a block of `len` instructions; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` (empty basic blocks cannot appear in a trace).
+    pub fn add_block(&mut self, len: u32) -> BlockId {
+        assert!(len > 0, "basic blocks must contain at least one instruction");
+        let id = BlockId::new(u32::try_from(self.blocks.len()).expect("too many blocks"));
+        let block = BasicBlock { id, addr: self.next_addr, len };
+        self.next_addr = block.end_addr();
+        self.blocks.push(block);
+        id
+    }
+
+    /// Number of blocks added so far.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no blocks have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Finish and return the immutable [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no blocks were added.
+    pub fn finish(self) -> Program {
+        assert!(!self.blocks.is_empty(), "a program needs at least one block");
+        Program { name: self.name, blocks: self.blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_contiguous_and_increasing() {
+        let mut b = ProgramBuilder::new("t");
+        let ids: Vec<BlockId> = (1..=5).map(|n| b.add_block(n)).collect();
+        let p = b.finish();
+        assert_eq!(p.num_blocks(), 5);
+        for w in ids.windows(2) {
+            let (a, c) = (p.block(w[0]), p.block(w[1]));
+            assert_eq!(a.end_addr(), c.addr, "blocks must be contiguous");
+        }
+        assert_eq!(p.block(ids[0]).addr, TEXT_BASE);
+    }
+
+    #[test]
+    fn backwardness_matches_id_order() {
+        let mut b = ProgramBuilder::new("t");
+        let b0 = b.add_block(1);
+        let b1 = b.add_block(1);
+        let p = b.finish();
+        assert!(p.is_backward(b1, b0));
+        assert!(p.is_backward(b0, b0), "self-loop counts as backward");
+        assert!(!p.is_backward(b0, b1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn zero_length_blocks_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let _ = b.add_block(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_programs_rejected() {
+        let _ = ProgramBuilder::new("t").finish();
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let mut b = ProgramBuilder::new("bench");
+        b.add_block(2);
+        let p = b.finish();
+        let s = p.to_string();
+        assert!(s.contains("bench") && s.contains('1'));
+    }
+}

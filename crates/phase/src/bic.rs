@@ -1,0 +1,202 @@
+//! Bayesian-information-criterion scoring of clusterings, and
+//! SimPoint's procedure for choosing the number of phases.
+//!
+//! SimPoint runs k-means for every `k ≤ Kmax`, scores each clustering
+//! with the BIC of a spherical-Gaussian mixture (the X-means
+//! formulation of Pelleg & Moore), and picks the *smallest* `k` whose
+//! score covers at least a threshold (default 90 %) of the spread
+//! between the worst and best scores seen.
+
+use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
+use crate::project::distance_sq;
+
+/// BIC score of a clustering (bigger is better).
+///
+/// Uses the X-means spherical-Gaussian likelihood with a pooled
+/// maximum-likelihood variance.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or the result does not match `data`.
+pub fn bic(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
+    assert!(!data.is_empty(), "bic needs data");
+    assert_eq!(data.len(), result.assignments.len(), "result does not match data");
+    let r = data.len() as f64;
+    let m = data[0].len() as f64;
+    let k = result.k as f64;
+
+    // Pooled MLE variance.
+    let sse: f64 = data
+        .iter()
+        .zip(&result.assignments)
+        .map(|(p, &a)| distance_sq(p, &result.centroids[a]))
+        .sum();
+    let denom = (r - k).max(1.0) * m;
+    let sigma2 = (sse / denom).max(1e-12);
+
+    let sizes = result.sizes();
+    let mut loglik = 0.0;
+    for &n in &sizes {
+        if n == 0 {
+            continue;
+        }
+        let rn = n as f64;
+        loglik += rn * (rn.ln() - r.ln())
+            - rn * m / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln()
+            - (rn - 1.0) * m / 2.0;
+    }
+    // Free parameters: k-1 mixing weights, k*m means, 1 variance.
+    let params = (k - 1.0) + k * m + 1.0;
+    loglik - params / 2.0 * r.ln()
+}
+
+/// Result of the k-selection sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KSelection {
+    /// The chosen clustering.
+    pub result: KMeansResult,
+    /// The chosen k.
+    pub k: usize,
+    /// BIC score per candidate k (index 0 ↦ k = 1).
+    pub scores: Vec<f64>,
+}
+
+/// SimPoint's k-selection: cluster for each `k` in `1..=k_max`, score
+/// with [`bic`], and return the smallest `k` whose score is at least
+/// `threshold` (default 0.9) *of the best score* — the criterion of the
+/// original SimPoint (Sherwood et al., ASPLOS 2002). When the best
+/// score is not positive the ratio is meaningless, so the selection
+/// falls back to covering `threshold` of the min-to-max spread.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, `k_max` is zero, or `threshold` is outside
+/// `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_phase::bic::choose_k;
+/// use mlpa_phase::kmeans::KMeansConfig;
+///
+/// use mlpa_isa::rng::SplitMix64;
+///
+/// // Two well-separated noisy groups: the sweep settles on k = 2.
+/// let mut rng = SplitMix64::new(1);
+/// let mut data: Vec<Vec<f64>> = (0..30).map(|_| vec![rng.next_gauss()]).collect();
+/// data.extend((0..30).map(|_| vec![50.0 + rng.next_gauss()]));
+/// let sel = choose_k(&data, 6, 0.9, &KMeansConfig::default());
+/// assert_eq!(sel.k, 2);
+/// ```
+pub fn choose_k(
+    data: &[Vec<f64>],
+    k_max: usize,
+    threshold: f64,
+    cfg: &KMeansConfig,
+) -> KSelection {
+    assert!(!data.is_empty(), "choose_k needs data");
+    assert!(k_max > 0, "k_max must be positive");
+    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+
+    let k_hi = k_max.min(data.len());
+    let mut candidates: Vec<(KMeansResult, f64)> = Vec::with_capacity(k_hi);
+    for k in 1..=k_hi {
+        let r = kmeans(data, k, cfg);
+        let s = bic(data, &r);
+        candidates.push((r, s));
+    }
+    let lo = candidates.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let hi = candidates.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+    let cut = if hi > 0.0 {
+        threshold * hi
+    } else if (hi - lo).abs() < 1e-12 {
+        lo
+    } else {
+        lo + threshold * (hi - lo)
+    };
+
+    let scores: Vec<f64> = candidates.iter().map(|(_, s)| *s).collect();
+    let pick = candidates
+        .iter()
+        .position(|(_, s)| *s >= cut)
+        .expect("at least the max clears the cut");
+    let (result, _) = candidates.swap_remove(pick);
+    KSelection { k: result.k, result, scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpa_isa::rng::SplitMix64;
+
+    fn blobs(centers: &[[f64; 2]], per: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SplitMix64::new(seed);
+        let mut data = Vec::new();
+        for c in centers {
+            for _ in 0..per {
+                data.push(vec![
+                    c[0] + rng.next_gauss() * spread,
+                    c[1] + rng.next_gauss() * spread,
+                ]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_true_k_for_separated_blobs() {
+        for true_k in 2..=4usize {
+            let centers: Vec<[f64; 2]> =
+                (0..true_k).map(|i| [20.0 * i as f64, 10.0 * (i % 2) as f64]).collect();
+            let data = blobs(&centers, 30, 0.4, 7);
+            let sel = choose_k(&data, 8, 0.9, &KMeansConfig::default());
+            assert_eq!(sel.k, true_k, "failed to recover k = {true_k}");
+        }
+    }
+
+    #[test]
+    fn one_blob_yields_k1() {
+        let data = blobs(&[[0.0, 0.0]], 60, 0.5, 3);
+        let sel = choose_k(&data, 6, 0.9, &KMeansConfig::default());
+        assert_eq!(sel.k, 1);
+    }
+
+    #[test]
+    fn bic_prefers_true_k() {
+        let data = blobs(&[[0.0, 0.0], [30.0, 0.0], [0.0, 30.0]], 40, 0.5, 5);
+        let cfg = KMeansConfig::default();
+        let b2 = bic(&data, &kmeans(&data, 2, &cfg));
+        let b3 = bic(&data, &kmeans(&data, 3, &cfg));
+        let b7 = bic(&data, &kmeans(&data, 7, &cfg));
+        assert!(b3 > b2, "k=3 should beat k=2: {b3} vs {b2}");
+        assert!(b3 > b7, "k=3 should beat overfit k=7: {b3} vs {b7}");
+    }
+
+    #[test]
+    fn k_max_caps_selection() {
+        let centers: Vec<[f64; 2]> = (0..6).map(|i| [25.0 * i as f64, 0.0]).collect();
+        let data = blobs(&centers, 20, 0.3, 11);
+        let sel = choose_k(&data, 3, 0.9, &KMeansConfig::default());
+        assert!(sel.k <= 3);
+    }
+
+    #[test]
+    fn scores_has_one_entry_per_candidate() {
+        let data = blobs(&[[0.0, 0.0], [9.0, 9.0]], 20, 0.3, 2);
+        let sel = choose_k(&data, 5, 0.9, &KMeansConfig::default());
+        assert_eq!(sel.scores.len(), 5);
+    }
+
+    #[test]
+    fn fewer_points_than_kmax() {
+        let data = vec![vec![0.0], vec![100.0]];
+        let sel = choose_k(&data, 30, 0.9, &KMeansConfig::default());
+        assert!(sel.k <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let _ = choose_k(&[vec![0.0]], 2, 1.5, &KMeansConfig::default());
+    }
+}

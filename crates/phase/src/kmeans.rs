@@ -1,0 +1,299 @@
+//! k-means clustering with k-means++ seeding and multiple restarts — the
+//! phase classifier SimPoint and COASTS share.
+
+use crate::project::distance_sq;
+use mlpa_isa::rng::SplitMix64;
+
+/// Result of one k-means clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroids.
+    pub inertia: f64,
+    /// Number of clusters (some may be empty only if there were fewer
+    /// points than `k`; empty clusters are dissolved otherwise).
+    pub k: usize,
+}
+
+impl KMeansResult {
+    /// Points per cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.k];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Clustering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of random restarts (best inertia wins).
+    pub restarts: usize,
+    /// Lloyd-iteration cap per restart.
+    pub max_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { restarts: 5, max_iters: 100, seed: 0x4B4D4541 }
+    }
+}
+
+/// Run k-means on `data` with `k` clusters.
+///
+/// If `k >= data.len()`, every point becomes its own cluster.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, `k` is zero, or the points have unequal
+/// dimensionality.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_phase::kmeans::{kmeans, KMeansConfig};
+///
+/// let data = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+/// let r = kmeans(&data, 2, &KMeansConfig::default());
+/// assert_eq!(r.assignments[0], r.assignments[1]);
+/// assert_eq!(r.assignments[2], r.assignments[3]);
+/// assert_ne!(r.assignments[0], r.assignments[2]);
+/// ```
+pub fn kmeans(data: &[Vec<f64>], k: usize, cfg: &KMeansConfig) -> KMeansResult {
+    assert!(!data.is_empty(), "kmeans needs at least one point");
+    assert!(k > 0, "k must be positive");
+    let dim = data[0].len();
+    assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensionality");
+
+    if k >= data.len() {
+        // Degenerate: every point its own cluster.
+        return KMeansResult {
+            assignments: (0..data.len()).collect(),
+            centroids: data.to_vec(),
+            inertia: 0.0,
+            k: data.len(),
+        };
+    }
+
+    let mut best: Option<KMeansResult> = None;
+    let base = SplitMix64::new(cfg.seed);
+    for r in 0..cfg.restarts.max(1) {
+        let mut rng = base.fork(r as u64);
+        let result = lloyd(data, k, cfg.max_iters, &mut rng);
+        if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn lloyd(data: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut SplitMix64) -> KMeansResult {
+    let mut centroids = plus_plus_seed(data, k, rng);
+    let mut assignments = vec![0usize; data.len()];
+
+    for _ in 0..max_iters {
+        let mut changed = false;
+        // Assign.
+        for (i, p) in data.iter().enumerate() {
+            let a = nearest(p, &centroids).0;
+            if a != assignments[i] {
+                assignments[i] = a;
+                changed = true;
+            }
+        }
+        // Update.
+        let dim = data[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in data.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the point farthest from
+                // its centroid.
+                let far = data
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = distance_sq(a, &centroids[assignments[0]]);
+                        let db = distance_sq(b, &centroids[assignments[0]]);
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty data");
+                centroids[c] = data[far].clone();
+                changed = true;
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = data
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| distance_sq(p, &centroids[a]))
+        .sum();
+    KMeansResult { assignments, centroids, inertia, k }
+}
+
+/// k-means++ seeding: first centroid uniform, then each next centroid
+/// drawn with probability proportional to squared distance from the
+/// nearest existing centroid.
+fn plus_plus_seed(data: &[Vec<f64>], k: usize, rng: &mut SplitMix64) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(data[rng.range_usize(data.len())].clone());
+    let mut d2: Vec<f64> = data.iter().map(|p| distance_sq(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let idx = if total <= 0.0 {
+            rng.range_usize(data.len())
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut pick = data.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        };
+        centroids.push(data[idx].clone());
+        for (i, p) in data.iter().enumerate() {
+            let d = distance_sq(p, centroids.last().expect("just pushed"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Index and squared distance of the nearest centroid.
+pub fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = distance_sq(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian-ish blobs in 2-D.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut rng = SplitMix64::new(99);
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut data = Vec::new();
+        for c in centers {
+            for _ in 0..40 {
+                data.push(vec![c[0] + rng.next_gauss() * 0.5, c[1] + rng.next_gauss() * 0.5]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs();
+        let r = kmeans(&data, 3, &KMeansConfig::default());
+        // All points of a blob share one label; labels across blobs
+        // differ.
+        for blob in 0..3 {
+            let first = r.assignments[blob * 40];
+            for i in 0..40 {
+                assert_eq!(r.assignments[blob * 40 + i], first, "blob {blob} split");
+            }
+        }
+        let mut labels: Vec<usize> = (0..3).map(|b| r.assignments[b * 40]).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn assignments_are_nearest_centroid() {
+        let data = blobs();
+        let r = kmeans(&data, 3, &KMeansConfig::default());
+        for (p, &a) in data.iter().zip(&r.assignments) {
+            assert_eq!(nearest(p, &r.centroids).0, a);
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let data = blobs();
+        let cfg = KMeansConfig::default();
+        let i1 = kmeans(&data, 1, &cfg).inertia;
+        let i3 = kmeans(&data, 3, &cfg).inertia;
+        let i6 = kmeans(&data, 6, &cfg).inertia;
+        assert!(i3 < i1 * 0.2, "3 clusters should slash inertia: {i3} vs {i1}");
+        assert!(i6 <= i3 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let cfg = KMeansConfig::default();
+        assert_eq!(kmeans(&data, 3, &cfg), kmeans(&data, 3, &cfg));
+    }
+
+    #[test]
+    fn degenerate_k_ge_n() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let r = kmeans(&data, 5, &KMeansConfig::default());
+        assert_eq!(r.k, 2);
+        assert_eq!(r.inertia, 0.0);
+        assert_eq!(r.assignments, vec![0, 1]);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let r = kmeans(&data, 1, &KMeansConfig::default());
+        assert_eq!(r.centroids[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sizes_sum_to_n() {
+        let data = blobs();
+        let r = kmeans(&data, 3, &KMeansConfig::default());
+        assert_eq!(r.sizes().iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_data_panics() {
+        let _ = kmeans(&[], 1, &KMeansConfig::default());
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        let data = vec![vec![5.0, 5.0]; 10];
+        let r = kmeans(&data, 3, &KMeansConfig::default());
+        assert!(r.inertia < 1e-12);
+    }
+}

@@ -1,0 +1,228 @@
+//! Principal-component analysis via power iteration with deflation —
+//! used to render Fig. 1's one-dimensional phase curves from 15-D BBV
+//! signatures.
+
+use mlpa_isa::rng::SplitMix64;
+
+/// PCA of a data matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    /// Unit-norm principal directions, strongest first.
+    pub components: Vec<Vec<f64>>,
+    /// Variance captured by each component.
+    pub eigenvalues: Vec<f64>,
+    /// Per-sample mean that was subtracted.
+    pub mean: Vec<f64>,
+}
+
+impl Pca {
+    /// Project a sample onto component `c` (mean-centred score).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range or `x` has the wrong length.
+    pub fn score(&self, x: &[f64], c: usize) -> f64 {
+        assert!(c < self.components.len(), "component {c} out of range");
+        assert_eq!(x.len(), self.mean.len(), "dimensionality mismatch");
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.components[c])
+            .map(|((&xi, &mi), &wi)| (xi - mi) * wi)
+            .sum()
+    }
+
+    /// Scores of every row of `data` on component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range or a row has the wrong length.
+    pub fn scores(&self, data: &[Vec<f64>], c: usize) -> Vec<f64> {
+        data.iter().map(|x| self.score(x, c)).collect()
+    }
+}
+
+/// Compute the top `k` principal components of `data` (rows = samples).
+///
+/// Builds the d×d covariance (d is small — 15 for BBV signatures) and
+/// power-iterates with deflation. Deterministic given `seed`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, rows have unequal lengths, or `k` is zero.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_phase::pca::principal_components;
+///
+/// // Points along the diagonal: the first PC is (±1/√2, ±1/√2).
+/// let data: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, i as f64]).collect();
+/// let pca = principal_components(&data, 1, 0);
+/// let c = &pca.components[0];
+/// assert!((c[0].abs() - (0.5f64).sqrt()).abs() < 1e-6);
+/// assert!((c[0] - c[1]).abs() < 1e-6);
+/// ```
+pub fn principal_components(data: &[Vec<f64>], k: usize, seed: u64) -> Pca {
+    assert!(!data.is_empty(), "pca needs data");
+    assert!(k > 0, "k must be positive");
+    let d = data[0].len();
+    assert!(data.iter().all(|r| r.len() == d), "inconsistent dimensionality");
+    let n = data.len() as f64;
+
+    let mut mean = vec![0.0; d];
+    for row in data {
+        for (m, &x) in mean.iter_mut().zip(row) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+
+    // Covariance (d × d, row-major).
+    let mut cov = vec![0.0; d * d];
+    for row in data {
+        for i in 0..d {
+            let xi = row[i] - mean[i];
+            for j in i..d {
+                cov[i * d + j] += xi * (row[j] - mean[j]);
+            }
+        }
+    }
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[i * d + j] / n;
+            cov[i * d + j] = v;
+            cov[j * d + i] = v;
+        }
+    }
+
+    let mut rng = SplitMix64::new(seed).fork(0x50434100);
+    let mut components = Vec::with_capacity(k);
+    let mut eigenvalues = Vec::with_capacity(k);
+    let k = k.min(d);
+    for _ in 0..k {
+        let (v, lambda) = power_iterate(&cov, d, &mut rng);
+        // Deflate: cov -= λ v vᵀ.
+        for i in 0..d {
+            for j in 0..d {
+                cov[i * d + j] -= lambda * v[i] * v[j];
+            }
+        }
+        components.push(v);
+        eigenvalues.push(lambda.max(0.0));
+    }
+
+    Pca { components, eigenvalues, mean }
+}
+
+fn power_iterate(cov: &[f64], d: usize, rng: &mut SplitMix64) -> (Vec<f64>, f64) {
+    let mut v: Vec<f64> = (0..d).map(|_| rng.next_gauss()).collect();
+    normalize(&mut v);
+    let mut lambda = 0.0;
+    for _ in 0..500 {
+        let mut w = vec![0.0; d];
+        for i in 0..d {
+            let mut s = 0.0;
+            for j in 0..d {
+                s += cov[i * d + j] * v[j];
+            }
+            w[i] = s;
+        }
+        let new_lambda: f64 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let norm = normalize(&mut w);
+        if norm < 1e-300 {
+            // Zero matrix (or fully deflated): any direction works.
+            return (v, 0.0);
+        }
+        let converged = (new_lambda - lambda).abs() <= 1e-12 * new_lambda.abs().max(1.0);
+        v = w;
+        lambda = new_lambda;
+        if converged {
+            break;
+        }
+    }
+    (v, lambda)
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        // Anisotropic cloud: x-variance 100, y-variance 1.
+        let mut rng = SplitMix64::new(4);
+        let data: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.next_gauss() * 10.0, rng.next_gauss()])
+            .collect();
+        let pca = principal_components(&data, 2, 0);
+        assert!(pca.components[0][0].abs() > 0.99, "PC1 should be ~x-axis");
+        assert!(pca.eigenvalues[0] > 50.0 && pca.eigenvalues[0] < 150.0);
+        assert!(pca.eigenvalues[1] < 2.0);
+        assert!(pca.eigenvalues[0] >= pca.eigenvalues[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = SplitMix64::new(8);
+        let data: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..5).map(|_| rng.next_gauss()).collect())
+            .collect();
+        let pca = principal_components(&data, 3, 0);
+        for i in 0..3 {
+            let n: f64 = pca.components[i].iter().map(|x| x * x).sum();
+            assert!((n - 1.0).abs() < 1e-6, "component {i} not unit norm");
+            for j in i + 1..3 {
+                let dot: f64 = pca.components[i]
+                    .iter()
+                    .zip(&pca.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-4, "components {i},{j} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_are_mean_centred() {
+        let data: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let pca = principal_components(&data, 1, 0);
+        let scores = pca.scores(&data, 0);
+        let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!(mean.abs() < 1e-9, "scores mean {mean}");
+        // Scores preserve the ordering along the dominant direction.
+        assert!(scores.windows(2).all(|w| w[0] < w[1]) || scores.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn constant_data_yields_zero_variance() {
+        let data = vec![vec![3.0, 3.0]; 20];
+        let pca = principal_components(&data, 2, 0);
+        assert!(pca.eigenvalues.iter().all(|&e| e.abs() < 1e-12));
+        assert_eq!(pca.scores(&data, 0), vec![0.0; 20]);
+    }
+
+    #[test]
+    fn k_capped_at_dimensionality() {
+        let data = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let pca = principal_components(&data, 5, 0);
+        assert_eq!(pca.components.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_data_panics() {
+        let _ = principal_components(&[], 1, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Seeded random projection of basic-block vectors.
+//!
+//! SimPoint projects raw BBVs (one dimension per static basic block)
+//! down to 15 dimensions with a random matrix before clustering; the
+//! projection preserves relative distances (Johnson–Lindenstrauss) while
+//! slashing the clustering cost. We use a ±1 Rademacher matrix, the
+//! standard cheap choice.
+
+use mlpa_isa::rng::SplitMix64;
+
+/// The projection dimensionality used by SimPoint and this paper.
+pub const DEFAULT_DIM: usize = 15;
+
+/// A `num_blocks × dim` random ±1 projection matrix.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_phase::project::RandomProjection;
+///
+/// let p = RandomProjection::new(100, 15, 42);
+/// let raw = vec![1.0; 100];
+/// let v = p.project(&raw);
+/// assert_eq!(v.len(), 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomProjection {
+    /// Row-major `num_blocks × dim` of ±1 entries.
+    matrix: Vec<f64>,
+    num_blocks: usize,
+    dim: usize,
+}
+
+impl RandomProjection {
+    /// Build a projection for `num_blocks` input dimensions down to
+    /// `dim`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` or `dim` is zero.
+    pub fn new(num_blocks: usize, dim: usize, seed: u64) -> RandomProjection {
+        assert!(num_blocks > 0, "num_blocks must be positive");
+        assert!(dim > 0, "dim must be positive");
+        let mut rng = SplitMix64::new(seed).fork(0x50524F4A);
+        let matrix = (0..num_blocks * dim)
+            .map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        RandomProjection { matrix, num_blocks, dim }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Input dimensionality (static block count).
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Project a raw BBV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len() != self.num_blocks()`.
+    pub fn project(&self, raw: &[f64]) -> Vec<f64> {
+        assert_eq!(raw.len(), self.num_blocks, "raw BBV dimensionality mismatch");
+        let mut out = vec![0.0; self.dim];
+        for (b, &x) in raw.iter().enumerate() {
+            if x != 0.0 {
+                let row = &self.matrix[b * self.dim..(b + 1) * self.dim];
+                for (o, &m) in out.iter_mut().zip(row) {
+                    *o += x * m;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = RandomProjection::new(50, 15, 7);
+        let b = RandomProjection::new(50, 15, 7);
+        let raw: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(a.project(&raw), b.project(&raw));
+        let c = RandomProjection::new(50, 15, 8);
+        assert_ne!(a.project(&raw), c.project(&raw));
+    }
+
+    #[test]
+    fn projection_is_linear() {
+        let p = RandomProjection::new(20, 5, 1);
+        let x: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i as f64).cos()).collect();
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let px = p.project(&x);
+        let py = p.project(&y);
+        let psum = p.project(&sum);
+        for i in 0..5 {
+            assert!((px[i] + py[i] - psum[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        let p = RandomProjection::new(10, 4, 3);
+        assert_eq!(p.project(&[0.0; 10]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn distances_roughly_preserved() {
+        // JL property, statistically: expected squared projected
+        // distance equals dim × squared input distance for Rademacher
+        // matrices (per-dimension variance = ||x−y||²). Check the
+        // average over many vector pairs is within 30 %.
+        let dim_in = 200;
+        let dim_out = 15;
+        let p = RandomProjection::new(dim_in, dim_out, 9);
+        let mut rng = SplitMix64::new(77);
+        let mut ratio_sum = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let x: Vec<f64> = (0..dim_in).map(|_| rng.next_f64()).collect();
+            let y: Vec<f64> = (0..dim_in).map(|_| rng.next_f64()).collect();
+            let d_in = distance_sq(&x, &y);
+            let d_out = distance_sq(&p.project(&x), &p.project(&y));
+            ratio_sum += d_out / (d_in * dim_out as f64);
+        }
+        let mean_ratio = ratio_sum / trials as f64;
+        assert!((mean_ratio - 1.0).abs() < 0.3, "distance ratio {mean_ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_input_length_panics() {
+        let p = RandomProjection::new(10, 4, 3);
+        let _ = p.project(&[0.0; 9]);
+    }
+
+    #[test]
+    fn distance_sq_basics() {
+        assert_eq!(distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(distance_sq(&[], &[]), 0.0);
+    }
+}

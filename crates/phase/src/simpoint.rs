@@ -1,0 +1,365 @@
+//! SimPoint selection: cluster interval signatures, pick one
+//! representative interval per phase, weight it by the phase's share of
+//! the execution.
+//!
+//! This is the pipeline of Sherwood et al. (ASPLOS 2002) /
+//! Perelman et al. (PACT 2003), parameterised so it serves as
+//!
+//! * the paper's **10 M SimPoint baseline** (fixed-length intervals,
+//!   `Kmax = 30`, closest-to-centroid selection),
+//! * **COASTS**'s coarse second stage (loop-iteration intervals,
+//!   `Kmax = 3`, earliest-instance selection), and
+//! * the **EarlySP** variant (earliest interval within a distance
+//!   tolerance of the centroid).
+
+use crate::bic::{choose_k, KSelection};
+use crate::interval::Interval;
+use crate::kmeans::{nearest, KMeansConfig};
+
+/// How the representative interval of each cluster is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Selection {
+    /// The interval closest to the cluster centroid (classic SimPoint).
+    Centroid,
+    /// The earliest interval of the cluster (COASTS).
+    Earliest,
+    /// The earliest interval whose *squared* distance to the centroid is
+    /// within `(1 + tolerance)` of the closest interval's (EarlySP,
+    /// Perelman et al. PACT 2003).
+    EarlySp {
+        /// Relative squared-distance slack, e.g. `0.3`.
+        tolerance: f64,
+    },
+}
+
+/// Parameters of a SimPoint-style selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPointConfig {
+    /// Maximum number of phases (clusters).
+    pub k_max: usize,
+    /// BIC threshold for choosing `k` (SimPoint default 0.9).
+    pub bic_threshold: f64,
+    /// k-means restarts / iteration cap / seed.
+    pub kmeans: KMeansConfig,
+    /// Representative choice.
+    pub selection: Selection,
+    /// When more intervals than this are profiled, the k-sweep clusters
+    /// a deterministic stride subsample of this size and then assigns
+    /// *all* intervals to the resulting centroids (SimPoint 3.0's
+    /// sub-sampling, which keeps clustering cost bounded on long
+    /// programs). Weights and representatives always use the full set.
+    pub max_cluster_samples: usize,
+}
+
+impl SimPointConfig {
+    /// The paper's fine-grained baseline: `Kmax = 30`,
+    /// closest-to-centroid.
+    pub fn fine_10m() -> SimPointConfig {
+        SimPointConfig {
+            k_max: 30,
+            bic_threshold: 0.9,
+            kmeans: KMeansConfig::default(),
+            selection: Selection::Centroid,
+            max_cluster_samples: 4_000,
+        }
+    }
+
+    /// COASTS's coarse stage: `Kmax = 3`, earliest instance.
+    pub fn coasts() -> SimPointConfig {
+        SimPointConfig {
+            k_max: 3,
+            bic_threshold: 0.9,
+            kmeans: KMeansConfig::default(),
+            selection: Selection::Earliest,
+            max_cluster_samples: 4_000,
+        }
+    }
+}
+
+/// One selected simulation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// Index of the chosen interval in the profiled interval list.
+    pub interval: usize,
+    /// First instruction of the point (global index).
+    pub start: u64,
+    /// Length in instructions.
+    pub len: u64,
+    /// Weight of the phase this point represents (instruction-mass
+    /// share; weights sum to 1).
+    pub weight: f64,
+    /// Cluster this point represents.
+    pub cluster: usize,
+}
+
+/// The outcome of a SimPoint selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoints {
+    /// Selected points, sorted by `start`.
+    pub points: Vec<SimPoint>,
+    /// Number of phases the BIC sweep settled on.
+    pub k: usize,
+    /// Number of profiled intervals.
+    pub num_intervals: usize,
+    /// Total instructions across all intervals.
+    pub total_insts: u64,
+    /// BIC score per candidate k (diagnostics).
+    pub bic_scores: Vec<f64>,
+}
+
+impl SimPoints {
+    /// Position (end-over-total) of the last simulation point — the
+    /// quantity that bounds functional fast-forward time.
+    pub fn last_position(&self) -> f64 {
+        self.points
+            .last()
+            .map(|p| (p.start + p.len) as f64 / self.total_insts as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Total instructions inside the selected points (detailed
+    /// simulation volume).
+    pub fn detailed_insts(&self) -> u64 {
+        self.points.iter().map(|p| p.len).sum()
+    }
+}
+
+/// Run the full selection over profiled intervals.
+///
+/// # Panics
+///
+/// Panics if `intervals` is empty or weights/geometry are inconsistent
+/// (intervals must come from a profiler; see
+/// [`validate_intervals`](crate::interval::validate_intervals)).
+///
+/// # Example
+///
+/// ```
+/// use mlpa_phase::interval::Interval;
+/// use mlpa_phase::simpoint::{select, SimPointConfig};
+///
+/// // Two alternating behaviours -> two phases, weights ~50/50.
+/// let intervals: Vec<Interval> = (0..20)
+///     .map(|i| Interval {
+///         index: i,
+///         start: 1000 * i as u64,
+///         len: 1000,
+///         vector: vec![if i % 2 == 0 { 1.0 } else { -1.0 }],
+///     })
+///     .collect();
+/// let sp = select(&intervals, &SimPointConfig::fine_10m());
+/// assert_eq!(sp.k, 2);
+/// let w: f64 = sp.points.iter().map(|p| p.weight).sum();
+/// assert!((w - 1.0).abs() < 1e-9);
+/// ```
+pub fn select(intervals: &[Interval], cfg: &SimPointConfig) -> SimPoints {
+    assert!(!intervals.is_empty(), "no intervals to select from");
+    let data: Vec<Vec<f64>> = intervals.iter().map(|iv| iv.vector.clone()).collect();
+
+    // Cluster on a stride subsample when the interval count is large,
+    // then extend the assignment to every interval.
+    let cap = cfg.max_cluster_samples.max(cfg.k_max + 1);
+    let (result, k, scores) = if data.len() > cap {
+        let stride = data.len().div_ceil(cap);
+        let sample: Vec<Vec<f64>> = data.iter().step_by(stride).cloned().collect();
+        let KSelection { result: sub, k, scores } =
+            choose_k(&sample, cfg.k_max, cfg.bic_threshold, &cfg.kmeans);
+        let assignments = data.iter().map(|p| nearest(p, &sub.centroids).0).collect();
+        (
+            crate::kmeans::KMeansResult {
+                assignments,
+                centroids: sub.centroids,
+                inertia: sub.inertia,
+                k: sub.k,
+            },
+            k,
+            scores,
+        )
+    } else {
+        let KSelection { result, k, scores } =
+            choose_k(&data, cfg.k_max, cfg.bic_threshold, &cfg.kmeans);
+        (result, k, scores)
+    };
+
+
+    let total_insts: u64 = intervals.iter().map(|iv| iv.len).sum();
+    // Instruction mass per cluster (VLI-correct weighting).
+    let mut mass = vec![0u64; k];
+    for (iv, &a) in intervals.iter().zip(&result.assignments) {
+        mass[a] += iv.len;
+    }
+
+    let mut points = Vec::with_capacity(k);
+    #[allow(clippy::needless_range_loop)] // `c` also selects the centroid slice below
+    for c in 0..k {
+        let members: Vec<usize> = (0..intervals.len())
+            .filter(|&i| result.assignments[i] == c)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let dist = |i: usize| nearest(&intervals[i].vector, &result.centroids[c..=c]).1;
+        let rep = match cfg.selection {
+            Selection::Centroid => members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| dist(a).partial_cmp(&dist(b)).expect("finite distances"))
+                .expect("non-empty cluster"),
+            Selection::Earliest => members[0],
+            Selection::EarlySp { tolerance } => {
+                let best = members
+                    .iter()
+                    .copied()
+                    .map(dist)
+                    .fold(f64::INFINITY, f64::min);
+                let cut = best * (1.0 + tolerance.max(0.0)) + 1e-15;
+                members
+                    .iter()
+                    .copied()
+                    .find(|&i| dist(i) <= cut)
+                    .expect("closest member always qualifies")
+            }
+        };
+        let iv = &intervals[rep];
+        points.push(SimPoint {
+            interval: rep,
+            start: iv.start,
+            len: iv.len,
+            weight: mass[c] as f64 / total_insts as f64,
+            cluster: c,
+        });
+    }
+    points.sort_by_key(|p| p.start);
+
+    SimPoints { points, k, num_intervals: intervals.len(), total_insts, bic_scores: scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Intervals alternating between two distinct vectors, with phase B
+    /// twice the length of phase A.
+    fn two_phase_intervals() -> Vec<Interval> {
+        let mut out = Vec::new();
+        let mut start = 0u64;
+        for i in 0..30 {
+            let (vector, len) = if i % 2 == 0 {
+                (vec![1.0, 0.0], 1_000)
+            } else {
+                (vec![0.0, 1.0], 2_000)
+            };
+            out.push(Interval { index: i, start, len, vector });
+            start += len;
+        }
+        out
+    }
+
+    #[test]
+    fn weights_reflect_instruction_mass() {
+        let sp = select(&two_phase_intervals(), &SimPointConfig::fine_10m());
+        assert_eq!(sp.k, 2);
+        let mut ws: Vec<f64> = sp.points.iter().map(|p| p.weight).collect();
+        ws.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!((ws[0] - 1.0 / 3.0).abs() < 1e-9, "phase A third of mass");
+        assert!((ws[1] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn earliest_selection_picks_first_instances() {
+        let ivs = two_phase_intervals();
+        let cfg = SimPointConfig { selection: Selection::Earliest, ..SimPointConfig::coasts() };
+        let sp = select(&ivs, &cfg);
+        // Earliest instances of the two phases are intervals 0 and 1.
+        let mut picks: Vec<usize> = sp.points.iter().map(|p| p.interval).collect();
+        picks.sort_unstable();
+        assert_eq!(picks, vec![0, 1]);
+        assert!(sp.last_position() < 0.1, "earliest points sit at the front");
+    }
+
+    #[test]
+    fn centroid_selection_picks_typical_member() {
+        // One cluster with an outlier: centroid selection avoids it.
+        let mut ivs: Vec<Interval> = (0..10)
+            .map(|i| Interval {
+                index: i,
+                start: 100 * i as u64,
+                len: 100,
+                vector: vec![1.0 + 0.01 * i as f64],
+            })
+            .collect();
+        ivs[0].vector = vec![5.0]; // outlier is the earliest
+        // Re-index starts remain contiguous; force k = 1 by kmax 1.
+        let cfg = SimPointConfig {
+            k_max: 1,
+            selection: Selection::Centroid,
+            ..SimPointConfig::fine_10m()
+        };
+        let sp = select(&ivs, &cfg);
+        assert_eq!(sp.points.len(), 1);
+        assert_ne!(sp.points[0].interval, 0, "outlier must not represent the cluster");
+    }
+
+    #[test]
+    fn early_sp_trades_distance_for_position() {
+        // Cluster members drift slightly; EarlySP with generous
+        // tolerance picks an earlier member than strict centroid.
+        let ivs: Vec<Interval> = (0..20)
+            .map(|i| Interval {
+                index: i,
+                start: 100 * i as u64,
+                len: 100,
+                vector: vec![(i as f64) * 0.01],
+            })
+            .collect();
+        let strict = select(
+            &ivs,
+            &SimPointConfig { k_max: 1, selection: Selection::Centroid, ..SimPointConfig::fine_10m() },
+        );
+        let early = select(
+            &ivs,
+            &SimPointConfig {
+                k_max: 1,
+                selection: Selection::EarlySp { tolerance: 1.0e4 },
+                ..SimPointConfig::fine_10m()
+            },
+        );
+        assert!(early.points[0].interval <= strict.points[0].interval);
+        assert_eq!(early.points[0].interval, 0, "huge tolerance admits the first");
+        // Zero tolerance degenerates to centroid selection.
+        let zero = select(
+            &ivs,
+            &SimPointConfig {
+                k_max: 1,
+                selection: Selection::EarlySp { tolerance: 0.0 },
+                ..SimPointConfig::fine_10m()
+            },
+        );
+        assert_eq!(zero.points[0].interval, strict.points[0].interval);
+    }
+
+    #[test]
+    fn points_sorted_and_weights_sum_to_one() {
+        let sp = select(&two_phase_intervals(), &SimPointConfig::fine_10m());
+        assert!(sp.points.windows(2).all(|w| w[0].start < w[1].start));
+        let total: f64 = sp.points.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(sp.detailed_insts(), sp.points.iter().map(|p| p.len).sum::<u64>());
+    }
+
+    #[test]
+    fn kmax_one_yields_single_point() {
+        let cfg = SimPointConfig { k_max: 1, ..SimPointConfig::fine_10m() };
+        let sp = select(&two_phase_intervals(), &cfg);
+        assert_eq!(sp.points.len(), 1);
+        assert!((sp.points[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_interval_program() {
+        let ivs = vec![Interval { index: 0, start: 0, len: 500, vector: vec![1.0] }];
+        let sp = select(&ivs, &SimPointConfig::coasts());
+        assert_eq!(sp.points.len(), 1);
+        assert_eq!(sp.last_position(), 1.0);
+    }
+}

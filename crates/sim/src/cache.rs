@@ -1,0 +1,478 @@
+//! Set-associative caches with true-LRU replacement, and the two-level
+//! hierarchy of Table I.
+
+use crate::config::{CacheConfig, MachineConfig, PrefetchPolicy};
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Line present.
+    Hit,
+    /// Line absent; it has been filled (allocate-on-miss). `victim_dirty`
+    /// reports whether a dirty line was evicted (write-back traffic).
+    Miss {
+        /// Whether the evicted victim was dirty.
+        victim_dirty: bool,
+    },
+}
+
+impl Access {
+    /// `true` for [`Access::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, Access::Hit)
+    }
+}
+
+/// A timing-only set-associative cache (tags + LRU stamps, no data),
+/// write-back / write-allocate.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_sim::cache::Cache;
+/// use mlpa_sim::config::CacheConfig;
+///
+/// let mut c = Cache::new(CacheConfig { size: 1024, assoc: 2, line: 32, latency: 1 });
+/// assert!(!c.access(0x100, false).is_hit()); // cold miss
+/// assert!(c.access(0x100, false).is_hit());  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: u64,
+    assoc: usize,
+    line_shift: u32,
+    /// Tag per line; `u64::MAX` = invalid. Indexed `set * assoc + way`.
+    tags: Vec<u64>,
+    /// LRU stamp per line (bigger = more recent).
+    stamps: Vec<u64>,
+    dirty: Vec<bool>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Build a cache from its geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`CacheConfig::validate`]).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        cfg.validate().expect("invalid cache config");
+        let sets = cfg.sets();
+        let assoc = cfg.assoc as usize;
+        let lines = (sets as usize) * assoc;
+        Cache {
+            cfg,
+            sets,
+            assoc,
+            line_shift: cfg.line.trailing_zeros(),
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            dirty: vec![false; lines],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Access `addr`; `write` marks the line dirty. Misses allocate.
+    pub fn access(&mut self, addr: u64, write: bool) -> Access {
+        self.tick += 1;
+        let block = addr >> self.line_shift;
+        let set = (block % self.sets) as usize;
+        let tag = block / self.sets;
+        let base = set * self.assoc;
+        let ways = &mut self.tags[base..base + self.assoc];
+
+        if let Some(w) = ways.iter().position(|&t| t == tag) {
+            self.hits += 1;
+            self.stamps[base + w] = self.tick;
+            if write {
+                self.dirty[base + w] = true;
+            }
+            return Access::Hit;
+        }
+
+        self.misses += 1;
+        // Choose LRU victim (invalid lines have stamp 0 and lose ties to
+        // nothing — they are naturally least recent).
+        let mut victim = 0usize;
+        let mut oldest = u64::MAX;
+        for w in 0..self.assoc {
+            let s = if self.tags[base + w] == u64::MAX { 0 } else { self.stamps[base + w] };
+            if s < oldest {
+                oldest = s;
+                victim = w;
+            }
+        }
+        let victim_dirty = self.dirty[base + victim] && self.tags[base + victim] != u64::MAX;
+        if victim_dirty {
+            self.writebacks += 1;
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.tick;
+        self.dirty[base + victim] = write;
+        Access::Miss { victim_dirty }
+    }
+
+    /// Insert `addr`'s line without touching hit/miss statistics
+    /// (prefetch fills and other non-demand traffic).
+    pub fn fill(&mut self, addr: u64) {
+        let (h, m, w) = (self.hits, self.misses, self.writebacks);
+        let _ = self.access(addr, false);
+        self.hits = h;
+        self.misses = m;
+        self.writebacks = w;
+    }
+
+    /// Whether `addr`'s line is resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = addr >> self.line_shift;
+        let set = (block % self.sets) as usize;
+        let tag = block / self.sets;
+        let base = set * self.assoc;
+        self.tags[base..base + self.assoc].contains(&tag)
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Reset statistics but keep contents (used when a warmed cache
+    /// starts a measured region).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
+    /// Invalidate all contents and reset statistics.
+    pub fn clear(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.dirty.fill(false);
+        self.tick = 0;
+        self.reset_stats();
+    }
+}
+
+/// Latency outcome of a data access through L1 → L2 → memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyAccess {
+    /// Total latency in cycles.
+    pub latency: u32,
+    /// Hit in the L1?
+    pub l1_hit: bool,
+    /// Hit in the L2 (only meaningful when `l1_hit` is false)?
+    pub l2_hit: bool,
+}
+
+/// The data-side memory hierarchy: L1D, unified L2, memory.
+///
+/// The instruction side shares the L2: [`MemoryHierarchy::fetch`] runs
+/// I-cache accesses through the same L2.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1d: Cache,
+    l1i: Cache,
+    l2: Cache,
+    mem_first: u32,
+    mem_next: u32,
+    last_mem_block: u64,
+    prefetch: PrefetchPolicy,
+    prefetches: u64,
+}
+
+impl MemoryHierarchy {
+    /// Build the hierarchy for a machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cache configuration is invalid.
+    pub fn new(cfg: &MachineConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1d: Cache::new(cfg.dcache),
+            l1i: Cache::new(cfg.icache),
+            l2: Cache::new(cfg.l2),
+            mem_first: cfg.mem_latency_first,
+            mem_next: cfg.mem_latency_next,
+            last_mem_block: u64::MAX,
+            prefetch: cfg.prefetch,
+            prefetches: 0,
+        }
+    }
+
+    /// Prefetch fills issued so far.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+
+    fn mem_latency(&mut self, addr: u64) -> u32 {
+        // SimpleScalar-style first/next latency: sequential-block bursts
+        // pay the cheaper "following" latency.
+        let block = addr >> 10;
+        let lat = if block == self.last_mem_block || block == self.last_mem_block.wrapping_add(1)
+        {
+            self.mem_next
+        } else {
+            self.mem_first
+        };
+        self.last_mem_block = block;
+        lat
+    }
+
+    /// A data access (load or store) at `addr`.
+    pub fn data_access(&mut self, addr: u64, write: bool) -> HierarchyAccess {
+        let l1 = self.l1d.access(addr, write);
+        if !l1.is_hit() && self.prefetch == PrefetchPolicy::NextLine {
+            // Idealised next-line prefetch: fill addr+line into L1 and
+            // L2 off the critical path.
+            let next = addr + self.l1d.config().line;
+            self.l1d.fill(next);
+            self.l2.fill(next);
+            self.prefetches += 1;
+        }
+        if l1.is_hit() {
+            return HierarchyAccess {
+                latency: self.l1d.config().latency,
+                l1_hit: true,
+                l2_hit: false,
+            };
+        }
+        let l2 = self.l2.access(addr, write);
+        if l2.is_hit() {
+            return HierarchyAccess {
+                latency: self.l1d.config().latency + self.l2.config().latency,
+                l1_hit: false,
+                l2_hit: true,
+            };
+        }
+        let lat =
+            self.l1d.config().latency + self.l2.config().latency + self.mem_latency(addr);
+        HierarchyAccess { latency: lat, l1_hit: false, l2_hit: false }
+    }
+
+    /// An instruction fetch at `addr`; returns the added stall cycles
+    /// beyond the pipelined L1I hit path (0 on a hit).
+    pub fn fetch(&mut self, addr: u64) -> u32 {
+        if self.l1i.access(addr, false).is_hit() {
+            return 0;
+        }
+        if self.l2.access(addr, false).is_hit() {
+            return self.l2.config().latency;
+        }
+        self.l2.config().latency + self.mem_latency(addr)
+    }
+
+    /// Touch the hierarchy without timing (functional warming).
+    pub fn warm_data(&mut self, addr: u64, write: bool) {
+        let _ = self.data_access(addr, write);
+    }
+
+    /// The L1 data cache.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The L1 instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The unified L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Reset statistics on all levels, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.l1d.reset_stats();
+        self.l1i.reset_stats();
+        self.l2.reset_stats();
+    }
+
+    /// Invalidate everything (cold start).
+    pub fn clear(&mut self) {
+        self.l1d.clear();
+        self.l1i.clear();
+        self.l2.clear();
+        self.last_mem_block = u64::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets, 2 ways, 32-byte lines.
+        Cache::new(CacheConfig { size: 128, assoc: 2, line: 32, latency: 1 })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert!(!c.access(0x0, false).is_hit());
+        assert!(c.access(0x0, false).is_hit());
+        assert!(c.access(0x1f, false).is_hit(), "same line");
+        assert!(!c.access(0x20, false).is_hit(), "next line, other set");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set 0 holds lines whose block index is even (2 sets).
+        let a = 0x000; // set 0
+        let b = 0x040; // set 0
+        let d = 0x080; // set 0
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a most recent
+        c.access(d, false); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn writeback_counted_on_dirty_eviction() {
+        let mut c = small();
+        c.access(0x000, true); // dirty
+        c.access(0x040, false);
+        c.access(0x080, false); // evicts dirty 0x000
+        assert_eq!(c.writebacks(), 1);
+        let miss = c.access(0x0c0, false); // evicts clean 0x040
+        assert_eq!(miss, Access::Miss { victim_dirty: false });
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn clear_and_reset_stats() {
+        let mut c = small();
+        c.access(0x0, true);
+        c.reset_stats();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        assert!(c.probe(0x0), "reset_stats keeps contents");
+        c.clear();
+        assert!(!c.probe(0x0), "clear invalidates");
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig { size: 64, assoc: 1, line: 32, latency: 1 });
+        // Two lines mapping to set 0 (2 sets: block even -> set 0).
+        assert!(!c.access(0x00, false).is_hit());
+        assert!(!c.access(0x40, false).is_hit());
+        assert!(!c.access(0x00, false).is_hit(), "conflict evicted it");
+    }
+
+    #[test]
+    fn hierarchy_latencies_escalate() {
+        let cfg = MachineConfig::table1_base();
+        let mut h = MemoryHierarchy::new(&cfg);
+        let miss = h.data_access(0x1_0000, false);
+        assert!(!miss.l1_hit && !miss.l2_hit);
+        assert!(miss.latency >= 150, "memory miss pays DRAM latency, got {}", miss.latency);
+        let hit = h.data_access(0x1_0000, false);
+        assert!(hit.l1_hit);
+        assert_eq!(hit.latency, cfg.dcache.latency);
+    }
+
+    #[test]
+    fn l2_hit_latency_between() {
+        let cfg = MachineConfig::table1_base();
+        let mut h = MemoryHierarchy::new(&cfg);
+        // Fill enough distinct lines to blow L1 (16 k / 32 B = 512 lines)
+        // but stay within L2.
+        for i in 0..2048u64 {
+            h.warm_data(0x10_0000 + i * 32, false);
+        }
+        // Re-access an early line: should be L2 hit, L1 miss.
+        let acc = h.data_access(0x10_0000, false);
+        assert!(!acc.l1_hit && acc.l2_hit, "{acc:?}");
+        assert_eq!(acc.latency, cfg.dcache.latency + cfg.l2.latency);
+    }
+
+    #[test]
+    fn burst_memory_latency_cheaper() {
+        let cfg = MachineConfig::table1_base();
+        let mut h = MemoryHierarchy::new(&cfg);
+        let first = h.data_access(0x400_0000, false).latency;
+        let next = h.data_access(0x400_0040, false).latency; // same 1 KiB block
+        assert!(next < first, "burst access {next} should beat first {first}");
+    }
+
+    #[test]
+    fn fetch_path_uses_l1i_and_l2() {
+        let cfg = MachineConfig::table1_base();
+        let mut h = MemoryHierarchy::new(&cfg);
+        assert!(h.fetch(0x40_0000) > 0, "cold fetch stalls");
+        assert_eq!(h.fetch(0x40_0000), 0, "warm fetch free");
+        assert_eq!(h.l1i().misses(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use crate::config::PrefetchPolicy;
+
+    #[test]
+    fn fill_does_not_count_stats() {
+        let mut c = Cache::new(CacheConfig { size: 128, assoc: 2, line: 32, latency: 1 });
+        c.fill(0x100);
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        assert!(c.probe(0x100), "fill inserts the line");
+    }
+
+    #[test]
+    fn next_line_prefetch_helps_sequential_streams() {
+        let mut cfg = MachineConfig::table1_base();
+        let mut plain = MemoryHierarchy::new(&cfg);
+        cfg.prefetch = PrefetchPolicy::NextLine;
+        let mut pf = MemoryHierarchy::new(&cfg);
+        // Sequential line-granular stream over a fresh region.
+        let (mut plain_lat, mut pf_lat) = (0u64, 0u64);
+        for i in 0..4_096u64 {
+            let addr = 0x900_0000 + i * 32;
+            plain_lat += u64::from(plain.data_access(addr, false).latency);
+            pf_lat += u64::from(pf.data_access(addr, false).latency);
+        }
+        assert!(pf.prefetches() > 1_000, "prefetches fired: {}", pf.prefetches());
+        // The burst-mode memory model already discounts sequential
+        // misses, so next-line prefetch saves "only" ~45 % more.
+        assert!(
+            (pf_lat as f64) < plain_lat as f64 * 0.7,
+            "prefetching should cut stream latency >30 %: {pf_lat} vs {plain_lat}"
+        );
+    }
+
+    #[test]
+    fn prefetch_off_by_default_in_table1() {
+        assert_eq!(MachineConfig::table1_base().prefetch, PrefetchPolicy::None);
+        assert_eq!(MachineConfig::table1_sensitivity().prefetch, PrefetchPolicy::None);
+    }
+}

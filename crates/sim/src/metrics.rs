@@ -1,0 +1,310 @@
+//! Simulation metrics: the quantities the paper's Table II compares
+//! (CPI, L1 hit rate, L2 hit rate) plus supporting counters.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters produced by a detailed-simulation run.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_sim::SimMetrics;
+///
+/// let mut m = SimMetrics::default();
+/// m.instructions = 100;
+/// m.cycles = 250;
+/// assert_eq!(m.cpi(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimMetrics {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// L1D hits / misses.
+    pub l1d_hits: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L1I hits.
+    pub l1i_hits: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Resolved branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Executed loads.
+    pub loads: u64,
+    /// Executed stores.
+    pub stores: u64,
+}
+
+impl SimMetrics {
+    /// Cycles per instruction. Zero-instruction runs report 0.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Instructions per cycle (reciprocal of [`cpi`](Self::cpi)).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 data-cache hit rate in `[0, 1]` (1.0 when there were no
+    /// accesses).
+    pub fn l1_hit_rate(&self) -> f64 {
+        rate(self.l1d_hits, self.l1d_misses)
+    }
+
+    /// L2 hit rate in `[0, 1]` (1.0 when there were no accesses).
+    pub fn l2_hit_rate(&self) -> f64 {
+        rate(self.l2_hits, self.l2_misses)
+    }
+
+    /// Branch misprediction rate in `[0, 1]` (0.0 with no branches).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Combine weighted per-sample metrics into a whole-program
+    /// estimate, the way sampling simulation extrapolates: rates are
+    /// weight-averaged via their underlying ratio estimates.
+    ///
+    /// `parts` yields `(weight, metrics)` pairs; weights should sum to 1
+    /// but are renormalised defensively.
+    ///
+    /// Returns the *rate* estimates packaged as a [`MetricEstimate`].
+    pub fn weighted_estimate<I>(parts: I) -> MetricEstimate
+    where
+        I: IntoIterator<Item = (f64, SimMetrics)>,
+    {
+        // CPI extrapolates as the weighted mean of per-sample CPIs
+        // (cycles and instructions are both proportional to region
+        // length). Rates extrapolate as *ratios of estimated totals*:
+        // each sample contributes its per-instruction event densities,
+        // weighted by its phase weight, and the rate is the quotient —
+        // a sample with hardly any L2 accesses correctly contributes
+        // almost nothing to the L2 hit rate. Averaging the rates
+        // themselves would let low-traffic phases swamp the estimate.
+        let mut w_all = 0.0;
+        let mut cpi = 0.0;
+        // Per-instruction event densities, weight-averaged.
+        let (mut l1h, mut l1a) = (0.0, 0.0);
+        let (mut l2h, mut l2a) = (0.0, 0.0);
+        let (mut brm, mut bra) = (0.0, 0.0);
+        for (w, m) in parts {
+            w_all += w;
+            cpi += w * m.cpi();
+            if m.instructions > 0 {
+                let inv = w / m.instructions as f64;
+                l1h += inv * m.l1d_hits as f64;
+                l1a += inv * (m.l1d_hits + m.l1d_misses) as f64;
+                l2h += inv * m.l2_hits as f64;
+                l2a += inv * (m.l2_hits + m.l2_misses) as f64;
+                brm += inv * m.mispredicts as f64;
+                bra += inv * m.branches as f64;
+            }
+        }
+        MetricEstimate {
+            cpi: if w_all > 0.0 { cpi / w_all } else { 0.0 },
+            l1_hit_rate: if l1a > 0.0 { l1h / l1a } else { 1.0 },
+            l2_hit_rate: if l2a > 0.0 { l2h / l2a } else { 1.0 },
+            mispredict_rate: if bra > 0.0 { brm / bra } else { 0.0 },
+        }
+    }
+
+    /// Rate view of these exact counters.
+    pub fn estimate(&self) -> MetricEstimate {
+        MetricEstimate {
+            cpi: self.cpi(),
+            l1_hit_rate: self.l1_hit_rate(),
+            l2_hit_rate: self.l2_hit_rate(),
+            mispredict_rate: self.mispredict_rate(),
+        }
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl AddAssign for SimMetrics {
+    fn add_assign(&mut self, o: SimMetrics) {
+        self.instructions += o.instructions;
+        self.cycles += o.cycles;
+        self.l1d_hits += o.l1d_hits;
+        self.l1d_misses += o.l1d_misses;
+        self.l1i_hits += o.l1i_hits;
+        self.l1i_misses += o.l1i_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.branches += o.branches;
+        self.mispredicts += o.mispredicts;
+        self.loads += o.loads;
+        self.stores += o.stores;
+    }
+}
+
+impl fmt::Display for SimMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts, {} cycles (CPI {:.3}), L1 {:.2}% L2 {:.2}%, bp-miss {:.2}%",
+            self.instructions,
+            self.cycles,
+            self.cpi(),
+            self.l1_hit_rate() * 100.0,
+            self.l2_hit_rate() * 100.0,
+            self.mispredict_rate() * 100.0
+        )
+    }
+}
+
+/// The three accuracy metrics of the paper's Table II (plus the branch
+/// misprediction rate), as rates rather than raw counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricEstimate {
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// L1 data-cache hit rate, in `[0, 1]`.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate, in `[0, 1]`.
+    pub l2_hit_rate: f64,
+    /// Branch misprediction rate, in `[0, 1]`.
+    pub mispredict_rate: f64,
+}
+
+impl MetricEstimate {
+    /// Relative deviation of each metric versus `truth`, as the paper
+    /// reports: `|est - true| / true` for CPI; absolute-difference for
+    /// hit rates (which are already percentages).
+    pub fn deviation_from(&self, truth: &MetricEstimate) -> MetricDeviation {
+        let rel = |e: f64, t: f64| if t == 0.0 { 0.0 } else { (e - t).abs() / t };
+        MetricDeviation {
+            cpi: rel(self.cpi, truth.cpi),
+            l1_hit_rate: (self.l1_hit_rate - truth.l1_hit_rate).abs(),
+            l2_hit_rate: (self.l2_hit_rate - truth.l2_hit_rate).abs(),
+        }
+    }
+}
+
+impl fmt::Display for MetricEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CPI {:.3}, L1 {:.2}%, L2 {:.2}%",
+            self.cpi,
+            self.l1_hit_rate * 100.0,
+            self.l2_hit_rate * 100.0
+        )
+    }
+}
+
+/// Deviation of an estimate from ground truth (Table II's cell values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricDeviation {
+    /// Relative CPI error.
+    pub cpi: f64,
+    /// Absolute L1 hit-rate error.
+    pub l1_hit_rate: f64,
+    /// Absolute L2 hit-rate error.
+    pub l2_hit_rate: f64,
+}
+
+impl fmt::Display for MetricDeviation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ΔCPI {:.2}%, ΔL1 {:.2}%, ΔL2 {:.2}%",
+            self.cpi * 100.0,
+            self.l1_hit_rate * 100.0,
+            self.l2_hit_rate * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_runs() {
+        let m = SimMetrics::default();
+        assert_eq!(m.cpi(), 0.0);
+        assert_eq!(m.ipc(), 0.0);
+        assert_eq!(m.l1_hit_rate(), 1.0);
+        assert_eq!(m.l2_hit_rate(), 1.0);
+        assert_eq!(m.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = SimMetrics { instructions: 10, cycles: 20, ..Default::default() };
+        let b = SimMetrics { instructions: 5, cycles: 5, l1d_hits: 3, ..Default::default() };
+        a += b;
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.cycles, 25);
+        assert_eq!(a.l1d_hits, 3);
+    }
+
+    #[test]
+    fn weighted_estimate_interpolates() {
+        let fast = SimMetrics { instructions: 100, cycles: 100, ..Default::default() };
+        let slow = SimMetrics { instructions: 100, cycles: 300, ..Default::default() };
+        let e = SimMetrics::weighted_estimate([(0.5, fast), (0.5, slow)]);
+        assert!((e.cpi - 2.0).abs() < 1e-12);
+        // Renormalisation: same answer with unnormalised weights.
+        let e2 = SimMetrics::weighted_estimate([(2.0, fast), (2.0, slow)]);
+        assert!((e.cpi - e2.cpi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_matches_hand_computation() {
+        let truth = MetricEstimate {
+            cpi: 2.0,
+            l1_hit_rate: 0.95,
+            l2_hit_rate: 0.80,
+            mispredict_rate: 0.05,
+        };
+        let est = MetricEstimate {
+            cpi: 2.1,
+            l1_hit_rate: 0.94,
+            l2_hit_rate: 0.85,
+            mispredict_rate: 0.05,
+        };
+        let d = est.deviation_from(&truth);
+        assert!((d.cpi - 0.05).abs() < 1e-12);
+        assert!((d.l1_hit_rate - 0.01).abs() < 1e-12);
+        assert!((d.l2_hit_rate - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!SimMetrics::default().to_string().is_empty());
+        let e = SimMetrics::default().estimate();
+        assert!(!e.to_string().is_empty());
+        assert!(!e.deviation_from(&e).to_string().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Microarchitectural sensitivity tests: the detailed simulator must
+//! respond to each Table I resource the way a real out-of-order core
+//! does. These are the properties that make sampled CPI comparisons
+//! between Config A and Config B meaningful.
+
+use mlpa_isa::stream::SliceStream;
+use mlpa_isa::{BlockId, BranchKind, Instruction, OpClass, ProgramBuilder, Reg};
+use mlpa_sim::{DetailedSim, MachineConfig, SimMetrics};
+
+/// Build a one-block program and a trace of `reps` dynamic instances,
+/// where instance `i`'s instructions come from `gen(i)` (terminator
+/// appended automatically).
+fn trace_of(
+    reps: usize,
+    block_len: u32,
+    gen: impl Fn(usize) -> Vec<Instruction>,
+) -> (mlpa_isa::Program, Vec<(BlockId, Vec<Instruction>)>) {
+    let mut b = ProgramBuilder::new("t");
+    let id = b.add_block(block_len + 1);
+    let prog = b.finish();
+    let trace = (0..reps)
+        .map(|i| {
+            let mut insts = gen(i);
+            assert_eq!(insts.len() as u32, block_len);
+            insts.push(Instruction::branch(BranchKind::Conditional, Reg::int(1), true, id));
+            (id, insts)
+        })
+        .collect();
+    (prog, trace)
+}
+
+fn run(cfg: MachineConfig, prog: &mlpa_isa::Program, trace: &[(BlockId, Vec<Instruction>)]) -> SimMetrics {
+    let mut sim = DetailedSim::new(cfg, prog);
+    sim.simulate(&mut SliceStream::new(trace), u64::MAX)
+}
+
+/// Independent long-latency loads with pseudo-random addresses — a
+/// memory-level-parallelism workload.
+fn mlp_trace(reps: usize) -> (mlpa_isa::Program, Vec<(BlockId, Vec<Instruction>)>) {
+    trace_of(reps, 16, |i| {
+        (0..16)
+            .map(|j| {
+                let x = (i * 16 + j) as u64;
+                let addr = (0x1000_0000 + (x.wrapping_mul(0x9E37_79B9) % (64 << 20))) & !7;
+                Instruction::load(Reg::int(8 + (j % 8) as u8), Reg::int(2), addr)
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn smaller_rob_hurts_memory_level_parallelism() {
+    let (prog, trace) = mlp_trace(2_000);
+    let big = MachineConfig::table1_base();
+    let mut small = MachineConfig::table1_base();
+    small.rob_entries = 16;
+    small.lsq_entries = 8;
+    let m_big = run(big, &prog, &trace);
+    let m_small = run(small, &prog, &trace);
+    assert!(
+        m_small.cpi() > m_big.cpi() * 1.5,
+        "ROB 16 CPI {:.2} should be much worse than ROB 128 CPI {:.2}",
+        m_small.cpi(),
+        m_big.cpi()
+    );
+}
+
+#[test]
+fn lsq_capacity_throttles_outstanding_memory_ops() {
+    let (prog, trace) = mlp_trace(2_000);
+    let mut narrow_lsq = MachineConfig::table1_base();
+    narrow_lsq.lsq_entries = 4;
+    let m_base = run(MachineConfig::table1_base(), &prog, &trace);
+    let m_narrow = run(narrow_lsq, &prog, &trace);
+    assert!(
+        m_narrow.cpi() > m_base.cpi() * 1.2,
+        "LSQ 4 CPI {:.2} vs LSQ 64 CPI {:.2}",
+        m_narrow.cpi(),
+        m_base.cpi()
+    );
+}
+
+#[test]
+fn pipeline_width_bounds_alu_throughput() {
+    let (prog, trace) = trace_of(3_000, 16, |_| {
+        (0..16)
+            .map(|j| {
+                Instruction::alu(
+                    OpClass::IntAlu,
+                    Reg::int(8 + (j % 16) as u8),
+                    [Reg::int(1), Reg::int(2)],
+                )
+            })
+            .collect()
+    });
+    let mut narrow = MachineConfig::table1_base();
+    narrow.width = 2;
+    let m_wide = run(MachineConfig::table1_base(), &prog, &trace);
+    let m_narrow = run(narrow, &prog, &trace);
+    assert!(m_wide.ipc() > 3.0, "8-wide IPC {:.2}", m_wide.ipc());
+    assert!(m_narrow.ipc() <= 2.05, "2-wide IPC {:.2} must respect width", m_narrow.ipc());
+    assert!(m_narrow.ipc() > 1.2, "2-wide should still pipeline, IPC {:.2}", m_narrow.ipc());
+}
+
+#[test]
+fn fu_pool_size_limits_fp_throughput() {
+    // Independent FP multiplies: throughput bound by the FP mul pool.
+    let (prog, trace) = trace_of(2_000, 12, |_| {
+        (0..12)
+            .map(|j| {
+                Instruction::alu(
+                    OpClass::FpMul,
+                    Reg::fp(8 + (j % 16) as u8),
+                    [Reg::fp(1), Reg::fp(2)],
+                )
+            })
+            .collect()
+    });
+    let mut one_fpu = MachineConfig::table1_base();
+    one_fpu.fu.fp_muldiv = 1;
+    let m_two = run(MachineConfig::table1_base(), &prog, &trace);
+    let m_one = run(one_fpu, &prog, &trace);
+    assert!(
+        m_one.cpi() > m_two.cpi() * 1.5,
+        "1 FP-mul unit CPI {:.2} vs 2 units CPI {:.2}",
+        m_one.cpi(),
+        m_two.cpi()
+    );
+    // Pipelined multiplies: 2 units sustain ~2/cycle.
+    assert!(m_two.ipc() > 1.5, "2 pipelined FP muls should sustain IPC > 1.5: {:.2}", m_two.ipc());
+}
+
+#[test]
+fn mispredict_penalty_scales_with_configured_cost() {
+    // Unpredictable branch directions (pseudo-random per instance).
+    let mk = |penalty: u32| {
+        let mut b = ProgramBuilder::new("t");
+        let id = b.add_block(4);
+        let prog = b.finish();
+        let mut rng = mlpa_isa::rng::SplitMix64::new(99);
+        let trace: Vec<(BlockId, Vec<Instruction>)> = (0..6_000usize)
+            .map(|_| {
+                let taken = rng.chance(0.5);
+                let insts = vec![
+                    Instruction::alu(OpClass::IntAlu, Reg::int(8), [Reg::int(1), Reg::int(2)]),
+                    Instruction::alu(OpClass::IntAlu, Reg::int(9), [Reg::int(1), Reg::int(2)]),
+                    Instruction::alu(OpClass::IntAlu, Reg::int(10), [Reg::int(1), Reg::int(2)]),
+                    Instruction::branch(BranchKind::Conditional, Reg::int(8), taken, id),
+                ];
+                (id, insts)
+            })
+            .collect();
+        let mut cfg = MachineConfig::table1_base();
+        cfg.predictor.mispredict_penalty = penalty;
+        let mut sim = DetailedSim::new(cfg, &prog);
+        // Leak-free: simulate consumes the local trace fully.
+        let m = sim.simulate(&mut SliceStream::new(&trace), u64::MAX);
+        (m.cpi(), m.mispredict_rate())
+    };
+    let (cpi_cheap, rate_cheap) = mk(2);
+    let (cpi_dear, rate_dear) = mk(30);
+    assert!(rate_cheap > 0.2, "random branches must mispredict often: {rate_cheap:.2}");
+    assert!((rate_cheap - rate_dear).abs() < 0.05, "penalty must not change the rate");
+    assert!(
+        cpi_dear > cpi_cheap * 1.5,
+        "penalty 30 CPI {cpi_dear:.2} vs penalty 2 CPI {cpi_cheap:.2}"
+    );
+}
+
+#[test]
+fn icache_pressure_appears_for_large_code_footprints() {
+    // A program of many blocks executed round-robin: footprint beyond
+    // the 8 KiB L1I must raise I-cache misses.
+    let mk = |nblocks: u32| {
+        let mut b = ProgramBuilder::new("t");
+        let ids: Vec<BlockId> = (0..nblocks).map(|_| b.add_block(17)).collect();
+        let prog = b.finish();
+        let body: Vec<Instruction> = (0..16)
+            .map(|j| {
+                Instruction::alu(OpClass::IntAlu, Reg::int(8 + (j % 16) as u8), [
+                    Reg::int(1),
+                    Reg::int(2),
+                ])
+            })
+            .collect();
+        let trace: Vec<(BlockId, Vec<Instruction>)> = (0..8_000usize)
+            .map(|i| {
+                let id = ids[i % ids.len()];
+                let next = ids[(i + 1) % ids.len()];
+                let mut insts = body.clone();
+                insts.push(Instruction::branch(BranchKind::Conditional, Reg::int(8), true, next));
+                (id, insts)
+            })
+            .collect();
+        let mut sim = DetailedSim::new(MachineConfig::table1_base(), &prog);
+        let m = sim.simulate(&mut SliceStream::new(&trace), u64::MAX);
+        (m.l1i_misses as f64 / (m.l1i_hits + m.l1i_misses) as f64, m.cpi())
+    };
+    let (miss_small, cpi_small) = mk(8); // ~0.5 KiB of code
+    let (miss_big, cpi_big) = mk(512); // ~35 KiB of code, round-robin = worst case
+    assert!(miss_small < 0.01, "small code must fit L1I: {miss_small:.3}");
+    assert!(miss_big > 0.5, "huge round-robin footprint must thrash L1I: {miss_big:.3}");
+    assert!(cpi_big > cpi_small * 1.3, "I-cache misses must cost cycles");
+}
+
+#[test]
+fn memory_latency_config_propagates_to_cpi() {
+    let (prog, trace) = mlp_trace(2_000);
+    let mut slow = MachineConfig::table1_base();
+    slow.mem_latency_first = 400;
+    slow.mem_latency_next = 40;
+    let m_fast = run(MachineConfig::table1_base(), &prog, &trace);
+    let m_slow = run(slow, &prog, &trace);
+    assert!(
+        m_slow.cpi() > m_fast.cpi() * 1.5,
+        "400-cycle memory CPI {:.2} vs 150-cycle {:.2}",
+        m_slow.cpi(),
+        m_fast.cpi()
+    );
+}
+
+#[test]
+fn store_heavy_code_is_not_latency_bound() {
+    // Stores retire through the store buffer: a store-heavy stream to
+    // uncached addresses should not pay load-like latencies.
+    let (prog, stores) = trace_of(2_000, 12, |i| {
+        (0..12)
+            .map(|j| {
+                let x = (i * 12 + j) as u64;
+                let addr = (0x2000_0000 + (x.wrapping_mul(0x5851_F42D) % (64 << 20))) & !7;
+                Instruction::store(Reg::int(3), Reg::int(2), addr)
+            })
+            .collect()
+    });
+    let m_st = run(MachineConfig::table1_base(), &prog, &stores);
+    let (prog2, loads) = mlp_trace(2_000);
+    let m_ld = run(MachineConfig::table1_base(), &prog2, &loads);
+    assert!(
+        m_st.cpi() < m_ld.cpi() * 0.8,
+        "stores CPI {:.2} should beat dependent-ish loads CPI {:.2}",
+        m_st.cpi(),
+        m_ld.cpi()
+    );
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Synthetic SPEC2000-like benchmark suite for the `mlpa`
+//! sampling-simulation study.
+//!
+//! SPEC2000 binaries and reference inputs cannot ship with a
+//! reproduction, so this crate builds the closest synthetic equivalent:
+//! 26 benchmarks, named after the SPEC2000 suite, whose *phase
+//! structure* is calibrated to every per-benchmark fact the DATE 2013
+//! paper reports (iteration counts, coarse-phase counts, positions of
+//! phase first-occurrences, gcc's wildly irregular outer loop, lucas's
+//! smooth-coarse/chaotic-fine profile, …).
+//!
+//! The pipeline is:
+//!
+//! 1. describe a benchmark declaratively with a [`spec::BenchmarkSpec`]
+//!    (phases → block families → behaviour patterns, plus the outer-loop
+//!    script);
+//! 2. compile it with [`CompiledBenchmark::compile`] into a static
+//!    [`Program`](mlpa_isa::Program) and instruction templates;
+//! 3. stream the dynamic trace with [`WorkloadStream`], an
+//!    [`InstructionStream`](mlpa_isa::InstructionStream) any simulator
+//!    or profiler can consume.
+//!
+//! # Example
+//!
+//! ```
+//! use mlpa_isa::stream::drain_count;
+//! use mlpa_workloads::{suite, CompiledBenchmark, WorkloadStream};
+//!
+//! // A scaled-down `lucas` for quick experimentation.
+//! let spec = suite::benchmark("lucas").unwrap().scaled(0.01);
+//! let cb = CompiledBenchmark::compile(&spec)?;
+//! let stats = drain_count(WorkloadStream::new(&cb));
+//! assert!(stats.instructions > 0);
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod behavior;
+pub mod build;
+pub mod generator;
+pub mod spec;
+pub mod suite;
+
+pub use build::CompiledBenchmark;
+pub use generator::WorkloadStream;
+pub use spec::{BenchmarkSpec, BlockSpec, PhaseSpec, ScriptEntry};
+pub use suite::Suite;

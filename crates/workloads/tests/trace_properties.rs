@@ -1,0 +1,220 @@
+//! Statistical validation of generated traces: the dynamic instruction
+//! stream must actually exhibit the behaviour its spec declares —
+//! instruction mixes, branch-direction rates, memory footprints, and
+//! phase scheduling.
+
+use mlpa_isa::stream::InstructionStream;
+use mlpa_isa::{BlockId, OpClass};
+use mlpa_workloads::behavior::{BranchPattern, InstMix, MemoryPattern};
+use mlpa_workloads::spec::{BenchmarkSpec, BlockSpec, PhaseSpec, ScriptEntry};
+use mlpa_workloads::{CompiledBenchmark, WorkloadStream};
+use std::collections::HashMap;
+
+/// Gather per-class instruction counts and address stats from a trace.
+struct TraceStats {
+    per_class: [u64; 10],
+    total: u64,
+    distinct_lines: std::collections::HashSet<u64>,
+    taken: u64,
+    branches: u64,
+    block_counts: HashMap<BlockId, u64>,
+}
+
+fn collect(cb: &CompiledBenchmark) -> TraceStats {
+    let mut s = TraceStats {
+        per_class: [0; 10],
+        total: 0,
+        distinct_lines: Default::default(),
+        taken: 0,
+        branches: 0,
+        block_counts: HashMap::new(),
+    };
+    let mut stream = WorkloadStream::new(cb);
+    let mut buf = Vec::new();
+    while let Some(id) = stream.next_block(&mut buf) {
+        *s.block_counts.entry(id).or_insert(0) += buf.len() as u64;
+        for i in &buf {
+            s.per_class[i.op.index()] += 1;
+            s.total += 1;
+            if i.is_mem() {
+                s.distinct_lines.insert(i.addr >> 5);
+            }
+            if let Some(b) = &i.branch {
+                s.branches += 1;
+                s.taken += u64::from(b.taken);
+            }
+        }
+    }
+    s
+}
+
+fn single_phase_spec(block: BlockSpec) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "stats".into(),
+        seed: 11,
+        init_insts: 500,
+        tail_insts: 200,
+        phases: vec![PhaseSpec {
+            name: "p".into(),
+            blocks: vec![block],
+            inner_iter_insts: 800,
+            drift: 0.0,
+            noise: 0.1,
+            perf_drift: 0.0,
+        }],
+        script: vec![ScriptEntry::new(0, 80_000); 4],
+    }
+}
+
+#[test]
+fn instruction_mix_tracks_spec() {
+    let mix = InstMix { load: 0.30, store: 0.10, fp_add: 0.15, ..InstMix::default() };
+    let spec = single_phase_spec(BlockSpec { mix, len: 30, ..BlockSpec::default() });
+    let cb = CompiledBenchmark::compile(&spec).unwrap();
+    let s = collect(&cb);
+    let frac = |c: OpClass| s.per_class[c.index()] as f64 / s.total as f64;
+    // Terminators and headers dilute the body mix; allow generous slack
+    // but require the right ordering and magnitude.
+    assert!(
+        (0.18..0.35).contains(&frac(OpClass::Load)),
+        "load fraction {:.3}",
+        frac(OpClass::Load)
+    );
+    assert!(
+        (0.05..0.14).contains(&frac(OpClass::Store)),
+        "store fraction {:.3}",
+        frac(OpClass::Store)
+    );
+    assert!(
+        (0.08..0.20).contains(&frac(OpClass::FpAdd)),
+        "fp_add fraction {:.3}",
+        frac(OpClass::FpAdd)
+    );
+    assert!(frac(OpClass::IntAlu) > 0.2, "alu fills the remainder");
+}
+
+#[test]
+fn working_set_bounds_distinct_lines() {
+    let ws = 32 * 1024u64;
+    let spec = single_phase_spec(BlockSpec {
+        mem: MemoryPattern::RandomInSet { working_set: ws },
+        mix: InstMix { load: 0.4, store: 0.1, ..InstMix::default() },
+        ..BlockSpec::default()
+    });
+    let cb = CompiledBenchmark::compile(&spec).unwrap();
+    let s = collect(&cb);
+    let body_lines = ws / 32;
+    // Init touches the region too; allow init's extra region plus slack.
+    assert!(
+        (s.distinct_lines.len() as u64) < body_lines * 3,
+        "{} distinct lines for a {} line working set",
+        s.distinct_lines.len(),
+        body_lines
+    );
+    assert!(
+        (s.distinct_lines.len() as u64) > body_lines / 2,
+        "random pattern should cover most of its set: {} of {}",
+        s.distinct_lines.len(),
+        body_lines
+    );
+}
+
+#[test]
+fn biased_branch_pattern_shapes_taken_rate() {
+    // The head block's pattern branch flips per the bias; structural
+    // branches (self-repeat, loop back-edges) add their own takens, so
+    // compare two extremes rather than absolute values.
+    let rate = |p_taken: f64| {
+        let spec = single_phase_spec(BlockSpec {
+            branch: BranchPattern::Biased { p_taken },
+            ..BlockSpec::default()
+        });
+        let cb = CompiledBenchmark::compile(&spec).unwrap();
+        let s = collect(&cb);
+        s.taken as f64 / s.branches as f64
+    };
+    let low = rate(0.02);
+    let high = rate(0.98);
+    assert!(
+        high > low + 0.1,
+        "taken-heavy pattern {high:.3} must exceed not-taken-heavy {low:.3}"
+    );
+}
+
+#[test]
+fn block_execution_follows_phase_schedule() {
+    // Two phases alternating: blocks of phase 0 must accumulate roughly
+    // the same instruction mass as phase 1 given equal script shares.
+    let spec = BenchmarkSpec {
+        phases: vec![
+            PhaseSpec { name: "a".into(), ..PhaseSpec::default() },
+            PhaseSpec { name: "b".into(), ..PhaseSpec::default() },
+        ],
+        script: (0..10).map(|i| ScriptEntry::new(i % 2, 60_000)).collect(),
+        ..BenchmarkSpec::default()
+    };
+    let cb = CompiledBenchmark::compile(&spec).unwrap();
+    let s = collect(&cb);
+    let mass = |rt: &mlpa_workloads::build::PhaseRt| -> u64 {
+        rt.families
+            .iter()
+            .flat_map(|f| [f.head, f.alt, f.cont])
+            .chain([rt.header])
+            .map(|b| s.block_counts.get(&b).copied().unwrap_or(0))
+            .sum()
+    };
+    let m0 = mass(&cb.phases()[0]) as f64;
+    let m1 = mass(&cb.phases()[1]) as f64;
+    assert!(
+        (m0 / m1 - 1.0).abs() < 0.25,
+        "equal script shares should yield similar masses: {m0} vs {m1}"
+    );
+}
+
+#[test]
+fn pointer_chase_wires_dependent_loads() {
+    let spec = single_phase_spec(BlockSpec {
+        mem: MemoryPattern::PointerChase { working_set: 1 << 20 },
+        mix: InstMix { load: 0.4, store: 0.05, ..InstMix::default() },
+        ..BlockSpec::default()
+    });
+    let cb = CompiledBenchmark::compile(&spec).unwrap();
+    let mut stream = WorkloadStream::new(&cb);
+    let mut buf = Vec::new();
+    let mut chained = 0u64;
+    let mut loads = 0u64;
+    // Skip past init (its blocks are not chase blocks).
+    for _ in 0..200 {
+        let _ = stream.next_block(&mut buf);
+    }
+    for _ in 0..2_000 {
+        if stream.next_block(&mut buf).is_none() {
+            break;
+        }
+        for i in &buf {
+            if i.op == OpClass::Load {
+                loads += 1;
+                if i.dst == i.srcs[0] && i.dst.is_some() {
+                    chained += 1;
+                }
+            }
+        }
+    }
+    assert!(loads > 100, "need loads to inspect, got {loads}");
+    assert!(
+        chained as f64 / loads as f64 > 0.5,
+        "pointer-chase loads should form dst==src chains: {chained}/{loads}"
+    );
+}
+
+#[test]
+fn scaling_preserves_mix_and_footprint_character() {
+    let spec = mlpa_workloads::suite::benchmark_with_iters("mcf", 1).unwrap();
+    let small = CompiledBenchmark::compile(&spec.scaled(0.05)).unwrap();
+    let s = collect(&small);
+    // mcf is integer: no FP operations at any scale.
+    assert_eq!(s.per_class[OpClass::FpAdd.index()], 0);
+    assert_eq!(s.per_class[OpClass::FpMul.index()], 0);
+    // Loads present in force (pointer-chasing benchmark).
+    assert!(s.per_class[OpClass::Load.index()] as f64 / s.total as f64 > 0.15);
+}

@@ -1,0 +1,106 @@
+//! Build a custom workload from scratch with the `mlpa-workloads` spec
+//! API and sample it with the multi-level framework — the path a user
+//! takes when their program of interest is not in the bundled suite.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use mlpa::prelude::*;
+use mlpa::sim::MachineConfig;
+use mlpa::workloads::behavior::{BranchPattern, InstMix, MemoryPattern};
+use mlpa::workloads::{BenchmarkSpec, BlockSpec, CompiledBenchmark, PhaseSpec, ScriptEntry};
+
+fn main() -> Result<(), String> {
+    // A made-up "image pipeline": a cache-friendly decode phase, a
+    // memory-hungry transform phase, and a branchy encode phase.
+    let decode = PhaseSpec {
+        name: "decode".into(),
+        blocks: vec![
+            BlockSpec {
+                len: 20,
+                mix: InstMix { load: 0.3, store: 0.1, ..InstMix::default() },
+                mem: MemoryPattern::Strided { stride: 8, working_set: 8 * 1024 },
+                branch: BranchPattern::Periodic { taken: 3, not_taken: 1 },
+                ..BlockSpec::default()
+            },
+            BlockSpec { len: 28, weight: 1.5, ..BlockSpec::default() },
+        ],
+        inner_iter_insts: 1_200,
+        noise: 0.25,
+        ..PhaseSpec::default()
+    };
+    let transform = PhaseSpec {
+        name: "transform".into(),
+        blocks: vec![BlockSpec {
+            len: 26,
+            mix: InstMix::fp(),
+            mem: MemoryPattern::Strided { stride: 8, working_set: 4 << 20 },
+            dep_density: 0.5,
+            ..BlockSpec::default()
+        }],
+        inner_iter_insts: 1_500,
+        noise: 0.3,
+        ..PhaseSpec::default()
+    };
+    let encode = PhaseSpec {
+        name: "encode".into(),
+        blocks: vec![BlockSpec {
+            len: 18,
+            branch: BranchPattern::Biased { p_taken: 0.45 },
+            mem: MemoryPattern::RandomInSet { working_set: 64 * 1024 },
+            ..BlockSpec::default()
+        }],
+        inner_iter_insts: 900,
+        noise: 0.35,
+        ..PhaseSpec::default()
+    };
+
+    // 40 frames: decode, transform, encode per frame.
+    let mut script = Vec::new();
+    for _ in 0..40 {
+        script.push(ScriptEntry::new(0, 350_000));
+        script.push(ScriptEntry::new(1, 500_000));
+        script.push(ScriptEntry::new(2, 250_000));
+    }
+    let spec = BenchmarkSpec {
+        name: "imagepipe".into(),
+        seed: 2024,
+        init_insts: 400_000,
+        tail_insts: 50_000,
+        phases: vec![decode, transform, encode],
+        script,
+    };
+    spec.validate()?;
+    println!("custom workload: {} nominal instructions", spec.nominal_insts());
+
+    let cb = CompiledBenchmark::compile(&spec)?;
+    let config = MachineConfig::table1_base();
+
+    let multi = multilevel(&cb, &MultilevelConfig::default())?;
+    println!(
+        "multi-level plan: {} points, detail {:.3}%, functional {:.2}%",
+        multi.plan.len(),
+        multi.plan.detail_fraction() * 100.0,
+        multi.plan.functional_fraction() * 100.0
+    );
+
+    let est = execute_plan(&cb, &config, &multi.plan, WarmupMode::Warmed).estimate;
+    let truth = ground_truth(&cb, &config).estimate();
+    let dev = est.deviation_from(&truth);
+    println!("estimate: {est}");
+    println!("truth:    {truth}");
+    println!("deviation: {dev}");
+
+    let fine = simpoint_baseline(
+        &cb,
+        FINE_INTERVAL,
+        &SimPointConfig::fine_10m(),
+        &ProjectionSettings::default(),
+    )?;
+    println!(
+        "modelled speedup over 10M SimPoint: {:.2}x",
+        CostModel::paper_implied().speedup(&fine.plan, &multi.plan)
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! The motivating use case of sampling simulation: evaluating an
+//! architectural design change across a benchmark subset *quickly*.
+//!
+//! We compare Table I Config A against Config B (bigger caches, slower
+//! memory) on several benchmarks, using multi-level sampling instead of
+//! full detailed simulation — and then check the verdicts against
+//! ground truth.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use mlpa::prelude::*;
+use mlpa::sim::MachineConfig;
+use mlpa::workloads::{suite, CompiledBenchmark};
+
+fn main() -> Result<(), String> {
+    let names = ["gzip", "mcf", "swim", "eon"];
+    let config_a = MachineConfig::table1_base();
+    let config_b = MachineConfig::table1_sensitivity();
+    println!("design question: does Config B (bigger caches, slower memory) beat Config A?");
+    println!("Config A: {config_a}");
+    println!("Config B: {config_b}\n");
+
+    let mut agree = 0;
+    for name in names {
+        let spec = suite::benchmark_with_iters(name, 2)
+            .ok_or_else(|| format!("unknown benchmark {name}"))?
+            .scaled(0.25);
+        let cb = CompiledBenchmark::compile(&spec)?;
+
+        // Sampled verdict: one multi-level plan, executed per config.
+        let t0 = std::time::Instant::now();
+        let plan = multilevel(&cb, &MultilevelConfig::default())?.plan;
+        let est_a = execute_plan(&cb, &config_a, &plan, WarmupMode::Warmed).estimate;
+        let est_b = execute_plan(&cb, &config_b, &plan, WarmupMode::Warmed).estimate;
+        let sampled_secs = t0.elapsed().as_secs_f64();
+
+        // Ground-truth verdict: two full detailed runs.
+        let t1 = std::time::Instant::now();
+        let truth_a = ground_truth(&cb, &config_a).estimate();
+        let truth_b = ground_truth(&cb, &config_b).estimate();
+        let full_secs = t1.elapsed().as_secs_f64();
+
+        let sampled_gain = (est_a.cpi - est_b.cpi) / est_a.cpi;
+        let true_gain = (truth_a.cpi - truth_b.cpi) / truth_a.cpi;
+        let same_verdict = (sampled_gain > 0.0) == (true_gain > 0.0);
+        agree += i32::from(same_verdict);
+
+        println!(
+            "{name:>8}: sampled says B is {:+.1}% CPI vs A ({sampled_secs:.1}s); \
+             truth says {:+.1}% ({full_secs:.1}s) -> {}",
+            -sampled_gain * 100.0,
+            -true_gain * 100.0,
+            if same_verdict { "same verdict" } else { "VERDICT FLIPPED" }
+        );
+    }
+    println!("\n{agree}/{} benchmarks: sampled design verdict matches ground truth", names.len());
+    Ok(())
+}

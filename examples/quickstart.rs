@@ -1,0 +1,69 @@
+//! Quickstart: sample one benchmark three ways and compare the
+//! estimates, deviations, and modelled speedups.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [scale]
+//! ```
+
+use mlpa::prelude::*;
+use mlpa::sim::MachineConfig;
+use mlpa::workloads::{suite, CompiledBenchmark};
+
+fn main() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gzip".into());
+    let scale: f64 = args.next().map(|s| s.parse().expect("scale is a number")).unwrap_or(0.25);
+
+    // 1. Build the workload (a calibrated synthetic SPEC2000 benchmark).
+    let spec = suite::benchmark_with_iters(&name, 2)
+        .ok_or_else(|| format!("unknown benchmark {name}"))?
+        .scaled(scale);
+    let cb = CompiledBenchmark::compile(&spec)?;
+    println!("benchmark {name}: ~{}M instructions", spec.nominal_insts() / 1_000_000);
+
+    // 2. Ground truth: full detailed simulation (what sampling avoids).
+    let config = MachineConfig::table1_base();
+    let t0 = std::time::Instant::now();
+    let truth = ground_truth(&cb, &config).estimate();
+    println!(
+        "ground truth (full detailed run, {:.1}s): {truth}",
+        t0.elapsed().as_secs_f64()
+    );
+
+    // 3. The three sampling methods.
+    let fine = simpoint_baseline(
+        &cb,
+        FINE_INTERVAL,
+        &SimPointConfig::fine_10m(),
+        &ProjectionSettings::default(),
+    )?;
+    let coarse = coasts(&cb, &CoastsConfig::default())?;
+    let multi = multilevel(&cb, &MultilevelConfig::default())?;
+
+    // 4. Execute each plan and compare.
+    let model = CostModel::paper_implied();
+    println!(
+        "\n{:<14} {:>6} {:>9} {:>12} {:>9} {:>9} {:>9}",
+        "method", "points", "detail%", "functional%", "est CPI", "dCPI%", "speedup"
+    );
+    for (label, plan) in [
+        ("10M SimPoint", &fine.plan),
+        ("COASTS", &coarse.plan),
+        ("multi-level", &multi.plan),
+    ] {
+        let est = execute_plan(&cb, &config, plan, WarmupMode::Warmed).estimate;
+        let dev = est.deviation_from(&truth);
+        println!(
+            "{:<14} {:>6} {:>8.3}% {:>11.2}% {:>9.3} {:>8.2}% {:>8.2}x",
+            label,
+            plan.len(),
+            plan.detail_fraction() * 100.0,
+            plan.functional_fraction() * 100.0,
+            est.cpi,
+            dev.cpi * 100.0,
+            model.speedup(&fine.plan, plan)
+        );
+    }
+    println!("\n(speedups use the paper-implied detailed/functional cost ratio r = 32.5)");
+    Ok(())
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md's {{TOKENS}} from the files under results/.
+
+Run after `mlpa-experiments all --measured-ratio`. Idempotent only on a
+template containing tokens; keep the template in git.
+"""
+import csv
+import re
+import sys
+from pathlib import Path
+
+root = Path(__file__).resolve().parent.parent
+res = root / "results"
+
+
+def geomean_from(path):
+    for line in (res / path).read_text().splitlines():
+        if line.strip().startswith("GEOMEAN") or line.startswith("geomean"):
+            m = re.search(r"([0-9.]+)x?", line.split(",")[-1])
+            return float(m.group(1))
+    raise SystemExit(f"no geomean in {path}")
+
+
+rows = list(csv.DictReader((res / "full_results.csv").open()))
+
+
+def row(bench, method):
+    for r in rows:
+        if r["benchmark"] == bench and r["method"].startswith(method):
+            return r
+    raise SystemExit(f"missing {bench}/{method}")
+
+
+def table2(metric_idx, method, col):
+    """Parse table2_deviation.txt: metric section, method row, column."""
+    text = (res / "table2_deviation.txt").read_text().splitlines()
+    section = -1
+    for line in text:
+        if line.startswith("---"):
+            section += 1
+            continue
+        if section == metric_idx and line.split("|")[0].strip() == method:
+            cells = re.findall(r"([0-9.]+)%", line)
+            return float(cells[col])
+    raise SystemExit(f"table2 {metric_idx}/{method}/{col}")
+
+
+def table3(method, field):
+    text = (res / "table3_stats.txt").read_text().splitlines()
+    for line in text:
+        if line.split("|")[0].strip() == method:
+            nums = re.findall(r"([0-9.]+)", line.split("|")[1])
+            return float(nums[field])
+    raise SystemExit(f"table3 {method}/{field}")
+
+
+def motivation():
+    text = (res / "motivation.txt").read_text()
+    m = re.search(r"mean coarse phases ([0-9.]+); mean last position ([0-9.]+)%", text)
+    per = {}
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) == 4 and parts[0] not in ("bench", "mean"):
+            per[parts[0]] = float(parts[2])
+    return float(m.group(1)), float(m.group(2)), per
+
+
+def fig1_last(granularity):
+    last = 0
+    total = 0
+    for line in (res / "fig1_lucas.csv").read_text().splitlines()[1:]:
+        g, idx, _pc1, sel = line.split(",")
+        if g != granularity:
+            continue
+        total = max(total, int(idx))
+        if sel == "1":
+            last = max(last, int(idx))
+    return 100.0 * last / max(total, 1)
+
+
+mot_k, mot_pos, per_bench_pos = motivation()
+log = Path("/tmp/experiments_full2.log").read_text()
+measured_r = float(re.search(r"measured cost ratio r = ([0-9.]+)", log).group(1))
+
+subs = {
+    "MEASURED_R": f"{measured_r:.1f}",
+    "FIG3_PAPER_R": f"{geomean_from('fig3_coasts_speedup_paper-implied.csv'):.2f}",
+    "FIG3_MEASURED_R": f"{geomean_from('fig3_coasts_speedup_measured.csv'):.2f}",
+    "FIG4_PAPER_R": f"{geomean_from('fig4_multilevel_speedup_paper-implied.csv'):.2f}",
+    "FIG4_MEASURED_R": f"{geomean_from('fig4_multilevel_speedup_measured.csv'):.2f}",
+    "GCC_COASTS": f"{float(row('gcc', 'COASTS')['speedup']):.2f}",
+    "GCC_MULTI": f"{float(row('gcc', 'Multi')['speedup']):.2f}",
+    "MOT_K": f"{mot_k:.1f}",
+    "MOT_POS": f"{mot_pos:.1f}",
+    "POS_GCC": f"{per_bench_pos['gcc']:.0f}",
+    "POS_ART": f"{per_bench_pos['art']:.0f}",
+    "POS_BZIP2": f"{per_bench_pos['bzip2']:.0f}",
+    "T3_SP_PTS": f"{table3('10M SimPoint', 1):.1f}",
+    "T3_SP_DET": f"{table3('10M SimPoint', 2):.3f}",
+    "T3_SP_FUNC": f"{table3('10M SimPoint', 3):.2f}",
+    "T3_CO_INT": f"{table3('COASTS', 0):.0f}",
+    "T3_CO_PTS": f"{table3('COASTS', 1):.1f}",
+    "T3_CO_DET": f"{table3('COASTS', 2):.3f}",
+    "T3_CO_FUNC": f"{table3('COASTS', 3):.2f}",
+    "T3_ML_INT": f"{table3('Multi-level Sampling', 0):.0f}",
+    "T3_ML_PTS": f"{table3('Multi-level Sampling', 1):.1f}",
+    "T3_ML_DET": f"{table3('Multi-level Sampling', 2):.3f}",
+    "T3_ML_FUNC": f"{table3('Multi-level Sampling', 3):.2f}",
+    "T2_SP_CPI_A": f"{table2(0, '10M SimPoint', 0):.2f}",
+    "T2_CO_CPI_A": f"{table2(0, 'COASTS', 0):.2f}",
+    "T2_ML_CPI_A": f"{table2(0, 'Multi-level Sampling', 0):.2f}",
+    "T2_SP_CPI_AW": f"{table2(0, '10M SimPoint', 1):.2f}",
+    "T2_CO_CPI_AW": f"{table2(0, 'COASTS', 1):.2f}",
+    "T2_ML_CPI_AW": f"{table2(0, 'Multi-level Sampling', 1):.2f}",
+    "T2_WORST_BENCH_VAL": f"{max(float(row('gzip', 'COASTS')['cpi_dev_a']), float(row('gzip', 'COASTS')['cpi_dev_b'])):.1f}",
+    "FIG1_FINE_LAST": f"{fig1_last('fine'):.0f}",
+    "FIG1_COARSE_LAST": f"{fig1_last('coarse'):.0f}",
+}
+
+path = root / "EXPERIMENTS.md"
+text = path.read_text()
+missing = []
+for k, v in subs.items():
+    token = "{{" + k + "}}"
+    if token not in text:
+        missing.append(k)
+    text = text.replace(token, v)
+leftover = re.findall(r"\{\{[A-Z0-9_]+\}\}", text)
+path.write_text(text)
+print("filled; unused tokens:", missing, "; leftover:", leftover)

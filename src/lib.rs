@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # mlpa — Multi-level Phase Analysis for Sampling Simulation
+//!
+//! A from-scratch Rust reproduction of *"Multi-level Phase Analysis for
+//! Sampling Simulation"* (Li, Zhang, Chen, Zang — DATE 2013): the
+//! COASTS coarse-grained sampling technique, the multi-level
+//! (coarse + fine) sampling framework, a SimPoint baseline, and every
+//! substrate they need — a cycle-level out-of-order simulator, a
+//! functional simulator, BBV phase analysis, and a calibrated synthetic
+//! SPEC2000-like benchmark suite.
+//!
+//! This crate is a façade: it re-exports the workspace's five library
+//! crates so downstream users can depend on one name.
+//!
+//! | Layer | Crate | What it provides |
+//! |---|---|---|
+//! | [`isa`] | `mlpa-isa` | instructions, basic blocks, programs, reproducible RNG |
+//! | [`workloads`] | `mlpa-workloads` | the synthetic SPEC2000 suite and trace generator |
+//! | [`sim`] | `mlpa-sim` | functional + detailed simulators, caches, predictors |
+//! | [`phase`] | `mlpa-phase` | BBVs, projection, k-means/BIC, PCA, loop detection, SimPoint |
+//! | [`core`] | `mlpa-core` | COASTS, multi-level sampling, plans, evaluation, speedup model |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mlpa::prelude::*;
+//! use mlpa::workloads::{suite, CompiledBenchmark};
+//!
+//! // A small lucas instance (factor 1 script, 30 % size).
+//! let spec = suite::benchmark_with_iters("lucas", 1).unwrap().scaled(0.3);
+//! let cb = CompiledBenchmark::compile(&spec)?;
+//!
+//! // Build the three sampling plans.
+//! let simpoint = simpoint_baseline(&cb, FINE_INTERVAL, &SimPointConfig::fine_10m(),
+//!     &ProjectionSettings::default())?;
+//! let multi = multilevel(&cb, &MultilevelConfig::default())?;
+//!
+//! // Multi-level needs far less functional simulation.
+//! assert!(multi.plan.functional_fraction() < simpoint.plan.functional_fraction());
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the
+//! `mlpa-experiments` binary (crate `mlpa-bench`) for the full
+//! table/figure reproduction.
+
+pub use mlpa_core as core;
+pub use mlpa_isa as isa;
+pub use mlpa_phase as phase;
+pub use mlpa_sim as sim;
+pub use mlpa_workloads as workloads;
+
+/// One-stop imports for the common workflow (re-export of
+/// [`mlpa_core::prelude`]).
+pub mod prelude {
+    pub use mlpa_core::prelude::*;
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration: workload generation → profiling → selection
+//! → plan execution → accuracy, across all three methods.
+
+use mlpa::prelude::*;
+use mlpa::sim::MachineConfig;
+use mlpa::workloads::{suite, CompiledBenchmark};
+
+/// A small but real suite benchmark (compact script, reduced size).
+fn small(name: &str) -> CompiledBenchmark {
+    let spec = suite::benchmark_with_iters(name, 2)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+        .scaled(0.15);
+    CompiledBenchmark::compile(&spec).expect("compiles")
+}
+
+#[test]
+fn three_methods_agree_with_ground_truth() {
+    let cb = small("gap");
+    let config = MachineConfig::table1_base();
+    let truth = ground_truth(&cb, &config).estimate();
+
+    let fine = simpoint_baseline(
+        &cb,
+        FINE_INTERVAL,
+        &SimPointConfig::fine_10m(),
+        &ProjectionSettings::default(),
+    )
+    .expect("baseline");
+    let co = coasts(&cb, &CoastsConfig::default()).expect("coasts");
+    let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
+
+    for (label, plan) in
+        [("simpoint", &fine.plan), ("coasts", &co.plan), ("multilevel", &ml.plan)]
+    {
+        let est = execute_plan(&cb, &config, plan, WarmupMode::Warmed).estimate;
+        let dev = est.deviation_from(&truth);
+        assert!(dev.cpi < 0.15, "{label} CPI deviation {:.3}", dev.cpi);
+        assert!(dev.l1_hit_rate < 0.10, "{label} L1 deviation {:.3}", dev.l1_hit_rate);
+        assert!(dev.l2_hit_rate < 0.15, "{label} L2 deviation {:.3}", dev.l2_hit_rate);
+    }
+}
+
+#[test]
+fn method_cost_structure_matches_paper() {
+    let cb = small("vortex");
+    let fine = simpoint_baseline(
+        &cb,
+        FINE_INTERVAL,
+        &SimPointConfig::fine_10m(),
+        &ProjectionSettings::default(),
+    )
+    .expect("baseline");
+    let co = coasts(&cb, &CoastsConfig::default()).expect("coasts");
+    let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
+
+    // The paper's structural claims:
+    // 1. Fine-grained SimPoint functionally simulates almost everything.
+    assert!(
+        fine.plan.functional_fraction() > 0.80,
+        "SimPoint functional {:.2}",
+        fine.plan.functional_fraction()
+    );
+    // 2. COASTS collapses functional time (early earliest-instances).
+    assert!(
+        co.plan.functional_fraction() < fine.plan.functional_fraction() / 2.0,
+        "COASTS functional {:.2} vs SimPoint {:.2}",
+        co.plan.functional_fraction(),
+        fine.plan.functional_fraction()
+    );
+    // 3. COASTS pays more detailed simulation than SimPoint.
+    assert!(co.plan.detailed_insts() > fine.plan.detailed_insts());
+    // 4. Multi-level keeps COASTS's functional profile but cuts detail.
+    assert!(ml.plan.detailed_insts() <= co.plan.detailed_insts());
+    assert!(ml.plan.last_end() <= co.plan.last_end() + 200);
+    // 5. Point counts: COASTS <= 3 (Kmax), SimPoint has many more.
+    assert!(co.plan.len() <= 3);
+    assert!(fine.plan.len() > co.plan.len());
+}
+
+#[test]
+fn speedup_ordering_under_both_cost_models() {
+    let cb = small("twolf");
+    let fine = simpoint_baseline(
+        &cb,
+        FINE_INTERVAL,
+        &SimPointConfig::fine_10m(),
+        &ProjectionSettings::default(),
+    )
+    .expect("baseline");
+    let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
+    let co = &ml.coasts;
+
+    for ratio in [10.0, 32.5, 100.0] {
+        let model = CostModel::from_ratio(ratio);
+        let s_co = model.speedup(&fine.plan, &co.plan);
+        let s_ml = model.speedup(&fine.plan, &ml.plan);
+        assert!(
+            s_ml >= s_co,
+            "multi-level ({s_ml:.2}x) must not lose to COASTS ({s_co:.2}x) at r={ratio}"
+        );
+        assert!(s_ml > 1.0, "multi-level must beat SimPoint at r={ratio}, got {s_ml:.2}x");
+    }
+}
+
+#[test]
+fn sensitivity_config_changes_truth_but_not_plan() {
+    // galgel streams multi-megabyte sets; at very small scales the init
+    // section cannot pre-touch them and first-instance ramps distort
+    // the estimate, so this test runs at a moderate size.
+    let spec = suite::benchmark_with_iters("galgel", 2).expect("galgel").scaled(0.4);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
+    let a = MachineConfig::table1_base();
+    let b = MachineConfig::table1_sensitivity();
+    let truth_a = ground_truth(&cb, &a).estimate();
+    let truth_b = ground_truth(&cb, &b).estimate();
+    // Config B genuinely behaves differently...
+    assert!(
+        (truth_a.cpi - truth_b.cpi).abs() / truth_a.cpi > 0.02,
+        "configs A/B should differ: {:.3} vs {:.3}",
+        truth_a.cpi,
+        truth_b.cpi
+    );
+    // ...while the plan (BBV-based) is config-independent, and the
+    // estimates track each config's own truth.
+    for (config, truth) in [(a, truth_a), (b, truth_b)] {
+        let est = execute_plan(&cb, &config, &ml.plan, WarmupMode::Warmed).estimate;
+        let dev = est.deviation_from(&truth);
+        assert!(dev.cpi < 0.15, "CPI deviation {:.3} under {config}", dev.cpi);
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let cb = small("apsi");
+        let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
+        let est = execute_plan(
+            &cb,
+            &MachineConfig::table1_base(),
+            &ml.plan,
+            WarmupMode::Warmed,
+        );
+        (ml.plan, est.estimate)
+    };
+    let (plan1, est1) = run();
+    let (plan2, est2) = run();
+    assert_eq!(plan1, plan2, "plans must be bit-identical across runs");
+    assert_eq!(est1, est2, "estimates must be bit-identical across runs");
+}

@@ -1,0 +1,147 @@
+//! Property-based integration tests: randomly generated benchmark
+//! specifications must uphold the pipeline's invariants end to end.
+
+use mlpa::isa::stream::InstructionStream;
+use mlpa::phase::interval::validate_intervals;
+use mlpa::prelude::*;
+use mlpa::workloads::behavior::{BranchPattern, InstMix, MemoryPattern};
+use mlpa::workloads::{
+    BenchmarkSpec, BlockSpec, CompiledBenchmark, PhaseSpec, ScriptEntry, WorkloadStream,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small but structurally varied benchmark spec.
+fn arb_spec() -> impl Strategy<Value = BenchmarkSpec> {
+    let arb_block = (
+        6u32..40,
+        0.2f64..2.0,
+        -1.0f64..1.0,
+        0.05f64..0.45,
+        prop_oneof![
+            (3u64..8).prop_map(|s| MemoryPattern::Strided {
+                stride: 1 << s,
+                working_set: 16 * 1024
+            }),
+            (10u64..22).prop_map(|w| MemoryPattern::RandomInSet { working_set: 1 << w }),
+            (14u64..22).prop_map(|w| MemoryPattern::PointerChase { working_set: 1 << w }),
+        ],
+        prop_oneof![
+            (0.0f64..1.0).prop_map(|p| BranchPattern::Biased { p_taken: p }),
+            (1u16..6, 1u16..4)
+                .prop_map(|(t, n)| BranchPattern::Periodic { taken: t, not_taken: n }),
+        ],
+        0.0f64..0.9,
+    )
+        .prop_map(|(len, weight, drift_dir, load, mem, branch, dep)| BlockSpec {
+            len,
+            weight,
+            drift_dir,
+            mix: InstMix { load, store: 0.08, ..InstMix::default() },
+            mem,
+            branch,
+            dep_density: dep,
+        });
+
+    let arb_phase = (prop::collection::vec(arb_block, 1..5), 200u64..2_000, 0.0f64..0.6, 0.0f64..0.8)
+        .prop_map(|(blocks, inner, drift, noise)| PhaseSpec {
+            name: "p".into(),
+            blocks,
+            inner_iter_insts: inner,
+            drift,
+            noise,
+            perf_drift: 0.05,
+        });
+
+    (
+        prop::collection::vec(arb_phase, 1..4),
+        2usize..12,
+        20_000u64..80_000,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(phases, iters, iter_insts, seed)| {
+            let nphases = phases.len();
+            BenchmarkSpec {
+                name: "prop".into(),
+                seed,
+                init_insts: 2_000,
+                tail_insts: 500,
+                script: (0..iters)
+                    .map(|i| ScriptEntry::new(i % nphases, iter_insts))
+                    .collect(),
+                phases,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_traces_are_wellformed(spec in arb_spec()) {
+        prop_assert!(spec.validate().is_ok());
+        let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+        let mut stream = WorkloadStream::new(&cb);
+        let mut buf = Vec::new();
+        let mut total = 0u64;
+        let mut prev_target: Option<mlpa::isa::BlockId> = None;
+        while let Some(id) = stream.next_block(&mut buf) {
+            // Successor chaining: previous terminator points here.
+            if let Some(t) = prev_target {
+                prop_assert_eq!(t, id);
+            }
+            // Block id valid, instruction count matches the template.
+            prop_assert!(id.index() < cb.program().num_blocks());
+            prop_assert_eq!(buf.len() as u32, cb.program().block(id).len);
+            // Terminator resolved.
+            let last = buf.last().expect("non-empty block");
+            prop_assert!(last.is_branch());
+            prev_target = Some(last.branch.expect("terminator info").target);
+            total += buf.len() as u64;
+        }
+        // Trace length lands near nominal.
+        let nominal = spec.nominal_insts() as f64;
+        prop_assert!((total as f64) > nominal * 0.4, "trace {} vs nominal {}", total, nominal);
+        prop_assert!((total as f64) < nominal * 2.5, "trace {} vs nominal {}", total, nominal);
+    }
+
+    #[test]
+    fn plans_partition_and_weights_normalise(spec in arb_spec()) {
+        let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+        let fine = simpoint_baseline(
+            &cb, 5_000, &SimPointConfig::fine_10m(), &ProjectionSettings::default(),
+        ).expect("baseline");
+        let ml = multilevel(&cb, &MultilevelConfig {
+            threshold: 20_000, fine_interval: 5_000, ..MultilevelConfig::default()
+        }).expect("multilevel");
+        for plan in [&fine.plan, &ml.plan, &ml.coasts.plan] {
+            // Accounting partitions the trace.
+            prop_assert_eq!(
+                plan.detailed_insts() + plan.functional_insts() + plan.skipped_insts(),
+                plan.total_insts()
+            );
+            // Weights normalised.
+            let w: f64 = plan.points().iter().map(|p| p.weight).sum();
+            prop_assert!((w - 1.0).abs() < 1e-6, "weights sum {}", w);
+            // Points sorted and disjoint.
+            for pair in plan.points().windows(2) {
+                prop_assert!(pair[0].end() <= pair[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_intervals_tile_the_trace(spec in arb_spec()) {
+        let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+        let co = coasts(&cb, &CoastsConfig::default()).expect("coasts");
+        prop_assert!(validate_intervals(&co.intervals).is_ok());
+        let sum: u64 = co.intervals.iter().map(|iv| iv.len).sum();
+        prop_assert_eq!(sum, co.plan.total_insts());
+        // Selected points are whole intervals.
+        for p in co.plan.points() {
+            prop_assert!(
+                co.intervals.iter().any(|iv| iv.start == p.start && iv.len == p.len),
+                "point at {} is not an interval", p.start
+            );
+        }
+    }
+}

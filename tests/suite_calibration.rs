@@ -1,0 +1,119 @@
+//! Calibration integration tests: the synthetic suite must reproduce
+//! the per-benchmark facts the paper states, *through the actual
+//! pipeline* (not just at the spec level — the spec-level checks live
+//! in `mlpa-workloads`).
+
+use mlpa::prelude::*;
+use mlpa::workloads::{suite, CompiledBenchmark};
+
+/// Run COASTS on a benchmark at reduced size, returning the outcome.
+fn coasts_on(name: &str, iters: usize, scale: f64) -> mlpa::core::CoastsOutcome {
+    let spec = suite::benchmark_with_iters(name, iters)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+        .scaled(scale);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    coasts(&cb, &CoastsConfig::default()).expect("coasts runs")
+}
+
+#[test]
+fn art_last_coarse_point_near_47_percent() {
+    let out = coasts_on("art", 2, 0.2);
+    let pos = out.plan.last_position();
+    assert!((0.40..0.58).contains(&pos), "art last point at {pos:.2}, paper says ~47 %");
+}
+
+#[test]
+fn bzip2_last_coarse_point_near_36_percent() {
+    let out = coasts_on("bzip2", 2, 0.2);
+    let pos = out.plan.last_position();
+    assert!((0.30..0.45).contains(&pos), "bzip2 last point at {pos:.2}, paper says ~36 %");
+}
+
+#[test]
+fn gcc_coasts_pays_huge_detail() {
+    // gcc: one iteration covers ~60 % of the run and is the earliest
+    // instance of its phase, so COASTS must simulate it in detail —
+    // the paper's motivating failure case for pure coarse sampling.
+    let out = coasts_on("gcc", 1, 0.1);
+    assert!(
+        out.plan.detail_fraction() > 0.45,
+        "gcc COASTS detail {:.2} should be dominated by the mega-iteration",
+        out.plan.detail_fraction()
+    );
+    let pos = out.plan.last_position();
+    assert!((0.78..0.92).contains(&pos), "gcc last point at {pos:.2}, paper says ~86 %");
+}
+
+#[test]
+fn gcc_multilevel_recovers() {
+    // Multi-level re-samples the mega point, collapsing gcc's detailed
+    // volume back to SimPoint levels (paper: 97 % of SimPoint's
+    // performance).
+    let spec = suite::benchmark_with_iters("gcc", 1).expect("gcc").scaled(0.1);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
+    assert!(
+        ml.plan.detail_fraction() < 0.05,
+        "multi-level gcc detail {:.3} must collapse",
+        ml.plan.detail_fraction()
+    );
+    // Speedup over SimPoint near parity (paper: 0.97x).
+    let fine = simpoint_baseline(
+        &cb,
+        FINE_INTERVAL,
+        &SimPointConfig::fine_10m(),
+        &ProjectionSettings::default(),
+    )
+    .expect("baseline");
+    let s = CostModel::paper_implied().speedup(&fine.plan, &ml.plan);
+    assert!((0.5..2.5).contains(&s), "gcc multi-level speedup {s:.2} should be near parity");
+}
+
+#[test]
+fn early_benchmarks_have_early_last_points() {
+    // Most of the suite classifies its last coarse phase very early
+    // (paper average ~17 %, most below 10 %).
+    for name in ["gzip", "eon", "swim", "lucas", "wupwise"] {
+        let out = coasts_on(name, 2, 0.15);
+        let pos = out.plan.last_position();
+        assert!(pos < 0.30, "{name} last coarse point at {pos:.2}");
+    }
+}
+
+#[test]
+fn coarse_phase_counts_recovered_by_clustering() {
+    // With Kmax lifted to 8, the BIC sweep should recover the designed
+    // coarse-phase counts (gzip 4, fma3d 5, equake 6) from the BBVs
+    // alone — the §III-B observation.
+    for (name, expected) in [("gzip", 4usize), ("fma3d", 5), ("equake", 6)] {
+        let spec = suite::benchmark_with_iters(name, 2).expect("known").scaled(0.2);
+        let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+        let mut cfg = CoastsConfig::default();
+        cfg.selection.k_max = 8;
+        let out = coasts(&cb, &cfg).expect("coasts runs");
+        assert!(
+            (expected.saturating_sub(1)..=expected + 1).contains(&out.simpoints.k),
+            "{name}: clustering found {} coarse phases, designed {expected}",
+            out.simpoints.k
+        );
+    }
+}
+
+#[test]
+fn mean_coarse_interval_size_in_paper_range() {
+    // Geometric mean of COASTS interval sizes across a sample of the
+    // suite, at full iteration factor, should sit near the paper's
+    // 444 M (scaled: 444 k).
+    let mut logs = Vec::new();
+    for name in ["gzip", "mcf", "swim", "vortex"] {
+        let spec = suite::benchmark(name).expect("known");
+        let mean_iter =
+            spec.script.iter().map(|e| e.insts).sum::<u64>() as f64 / spec.script.len() as f64;
+        logs.push(mean_iter.ln());
+    }
+    let geo = (logs.iter().sum::<f64>() / logs.len() as f64).exp();
+    assert!(
+        (250_000.0..900_000.0).contains(&geo),
+        "geomean iteration size {geo:.0} out of the calibrated range"
+    );
+}
