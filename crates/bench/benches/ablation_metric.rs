@@ -49,12 +49,13 @@ fn bench_ablation_metric(c: &mut Criterion) {
     group.finish();
 
     println!("\nAblation: phase metric comparison (bzip2, reduced size; identical selection)");
-    println!("{:>6} {:>7} {:>8} {:>9} {:>9} {:>9}", "metric", "dims", "phases", "points", "dCPI%", "dL1%");
-    for (name, intervals) in [
-        ("BBV", profile_bbv(&cb)),
-        ("LFV", profile_lfv(&cb)),
-        ("WSS", profile_wss(&cb)),
-    ] {
+    println!(
+        "{:>6} {:>7} {:>8} {:>9} {:>9} {:>9}",
+        "metric", "dims", "phases", "points", "dCPI%", "dL1%"
+    );
+    for (name, intervals) in
+        [("BBV", profile_bbv(&cb)), ("LFV", profile_lfv(&cb)), ("WSS", profile_wss(&cb))]
+    {
         let sp = select(&intervals, &SimPointConfig::fine_10m());
         let plan = plan_from_points(&sp).expect("valid plan");
         let est = execute_plan(&cb, &config, &plan, WarmupMode::Warmed).estimate;

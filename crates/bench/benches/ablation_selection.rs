@@ -33,9 +33,8 @@ fn bench_ablation_selection(c: &mut Criterion) {
     group.finish();
 
     let coasts_out = coasts(&cb, &CoastsConfig::default()).expect("coasts");
-    let baseline =
-        simpoint_baseline(&cb, FINE_INTERVAL, &SimPointConfig::fine_10m(), &proj)
-            .expect("baseline");
+    let baseline = simpoint_baseline(&cb, FINE_INTERVAL, &SimPointConfig::fine_10m(), &proj)
+        .expect("baseline");
     let model = CostModel::paper_implied();
 
     println!("\nAblation: selection policy at fine granularity (twolf, reduced size)");
@@ -73,7 +72,9 @@ fn bench_ablation_selection(c: &mut Criterion) {
         coasts_out.plan.functional_fraction() * 100.0,
         model.speedup(&baseline.plan, &coasts_out.plan)
     );
-    println!("(the paper's point: even aggressive EarlySP cannot match what coarse granularity buys)");
+    println!(
+        "(the paper's point: even aggressive EarlySP cannot match what coarse granularity buys)"
+    );
 }
 
 criterion_group!(benches, bench_ablation_selection);

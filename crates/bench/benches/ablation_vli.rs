@@ -80,7 +80,9 @@ fn bench_ablation_vli(c: &mut Criterion) {
             model.speedup(&baseline.plan, &plan)
         );
     }
-    println!("(the paper's §V-A claim: similar cost profiles — granularity matters, boundaries don't)");
+    println!(
+        "(the paper's §V-A claim: similar cost profiles — granularity matters, boundaries don't)"
+    );
 }
 
 criterion_group!(benches, bench_ablation_vli);

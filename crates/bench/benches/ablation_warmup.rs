@@ -42,18 +42,11 @@ fn bench_ablation_warmup(c: &mut Criterion) {
     for (name, plan) in
         [("10M SimPoint", &fine.plan), ("COASTS", &co.plan), ("Multi-level", &ml.plan)]
     {
-        let warm = execute_plan(&cb, &config, plan, WarmupMode::Warmed)
-            .estimate
-            .deviation_from(&truth);
-        let cold = execute_plan(&cb, &config, plan, WarmupMode::Cold)
-            .estimate
-            .deviation_from(&truth);
-        println!(
-            "{:<22} {:>11.2}% {:>11.2}%",
-            name,
-            warm.cpi * 100.0,
-            cold.cpi * 100.0
-        );
+        let warm =
+            execute_plan(&cb, &config, plan, WarmupMode::Warmed).estimate.deviation_from(&truth);
+        let cold =
+            execute_plan(&cb, &config, plan, WarmupMode::Cold).estimate.deviation_from(&truth);
+        println!("{:<22} {:>11.2}% {:>11.2}%", name, warm.cpi * 100.0, cold.cpi * 100.0);
     }
     println!("(cold bias hits small points hardest — the paper's Table II SimPoint L2 column)");
 }

@@ -62,14 +62,13 @@ fn bench_baseline_systematic(c: &mut Criterion) {
         );
         if name.starts_with("systematic") {
             let e = sampling_error(&out.per_point);
-            println!(
-                "{:<22} CLT ±95% half-width: {:.2}% of mean CPI",
-                "", e.relative_ci95 * 100.0
-            );
+            println!("{:<22} CLT ±95% half-width: {:.2}% of mean CPI", "", e.relative_ci95 * 100.0);
         }
     }
     println!("(systematic sampling is accurate but pays ~full-run functional cost — the");
-    println!(" exact cost structure the paper's coarse-grained earliest-instance selection removes)");
+    println!(
+        " exact cost structure the paper's coarse-grained earliest-instance selection removes)"
+    );
 }
 
 criterion_group!(benches, bench_baseline_systematic);

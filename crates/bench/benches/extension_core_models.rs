@@ -35,7 +35,10 @@ fn execute_inorder(
     mlpa_sim::SimMetrics::weighted_estimate(parts)
 }
 
-fn ground_truth_inorder(cb: &CompiledBenchmark, config: &MachineConfig) -> mlpa_sim::MetricEstimate {
+fn ground_truth_inorder(
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+) -> mlpa_sim::MetricEstimate {
     let mut sim = InOrderSim::new(*config, cb.program());
     sim.simulate(&mut WorkloadStream::new(cb), u64::MAX).estimate()
 }

@@ -7,9 +7,7 @@ use mlpa_workloads::suite;
 use std::hint::black_box;
 
 fn bench_fig1(c: &mut Criterion) {
-    let spec = suite::benchmark_with_iters("lucas", 2)
-        .expect("lucas exists")
-        .scaled(0.3);
+    let spec = suite::benchmark_with_iters("lucas", 2).expect("lucas exists").scaled(0.3);
 
     let mut group = c.benchmark_group("fig1");
     group.sample_size(10);

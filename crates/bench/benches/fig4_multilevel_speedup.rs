@@ -24,11 +24,7 @@ fn bench_fig4(c: &mut Criterion) {
     let results = exp.run(|_| {}).expect("suite runs");
     println!(
         "\n{}",
-        report::figure_speedup(
-            &results,
-            harness::Method::Multilevel,
-            &CostModel::paper_implied()
-        )
+        report::figure_speedup(&results, harness::Method::Multilevel, &CostModel::paper_implied())
     );
 }
 

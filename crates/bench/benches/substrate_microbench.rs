@@ -42,8 +42,7 @@ fn bench_substrate(c: &mut Criterion) {
     let accesses = 100_000u64;
     cache_group.throughput(Throughput::Elements(accesses));
     cache_group.bench_function("l1_random_access", |b| {
-        let mut cache =
-            Cache::new(CacheConfig { size: 16 * 1024, assoc: 4, line: 32, latency: 2 });
+        let mut cache = Cache::new(CacheConfig { size: 16 * 1024, assoc: 4, line: 32, latency: 2 });
         let mut rng = SplitMix64::new(1);
         b.iter(|| {
             for _ in 0..accesses {
@@ -57,9 +56,8 @@ fn bench_substrate(c: &mut Criterion) {
     let mut cluster_group = c.benchmark_group("kmeans");
     cluster_group.sample_size(10);
     let mut rng = SplitMix64::new(7);
-    let data: Vec<Vec<f64>> = (0..2_000)
-        .map(|_| (0..15).map(|_| rng.next_gauss()).collect())
-        .collect();
+    let data: Vec<Vec<f64>> =
+        (0..2_000).map(|_| (0..15).map(|_| rng.next_gauss()).collect()).collect();
     cluster_group.bench_function("k10_n2000_d15", |b| {
         b.iter(|| kmeans(black_box(&data), 10, &KMeansConfig::default()));
     });

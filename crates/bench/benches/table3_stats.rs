@@ -9,8 +9,8 @@ use mlpa_workloads::CompiledBenchmark;
 use std::hint::black_box;
 
 fn bench_table3(c: &mut Criterion) {
-    let exp = harness::Experiment::quick()
-        .select(&["gzip", "mcf", "art", "bzip2", "swim", "lucas"]);
+    let exp =
+        harness::Experiment::quick().select(&["gzip", "mcf", "art", "bzip2", "swim", "lucas"]);
     let spec = exp.suite.get("swim").expect("swim selected").clone();
     let cb = CompiledBenchmark::compile(&spec).expect("compiles");
 

@@ -19,6 +19,8 @@
 //!   --iters N         iteration factor (default 8; gcc unaffected)
 //!   --scale F         size scale factor (default 1.0)
 //!   --cold            cold fast-forward (no warming) — scale-amplified
+//!   --jobs N          worker threads for the suite run (default 0 = all
+//!                     cores); results are bit-identical for every N
 //!   --ratio R         cost-model ratio c_d/c_f (default: paper 32.5)
 //!   --measured-ratio  also report speedups at the measured ratio
 //!   --out DIR         output directory (default: results)
@@ -38,6 +40,7 @@ struct Options {
     iters: usize,
     scale: f64,
     cold: bool,
+    jobs: usize,
     ratio: f64,
     measured_ratio: bool,
     out: PathBuf,
@@ -51,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
         iters: suite::DEFAULT_ITER_FACTOR,
         scale: 1.0,
         cold: false,
+        jobs: 0,
         ratio: 32.5,
         measured_ratio: false,
         out: PathBuf::from("results"),
@@ -64,6 +68,13 @@ fn parse_args() -> Result<Options, String> {
             "--select" => {
                 let v = args.next().ok_or("--select needs a value")?;
                 o.select = v.split(',').map(str::to_owned).collect();
+            }
+            "--jobs" => {
+                o.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
             }
             "--iters" => {
                 o.iters = args
@@ -91,7 +102,17 @@ fn parse_args() -> Result<Options, String> {
                 println!("see the module docs at the top of mlpa-experiments.rs");
                 std::process::exit(0);
             }
-            cmd if !cmd.starts_with('-') => o.commands.push(cmd.to_owned()),
+            cmd if !cmd.starts_with('-') => {
+                const COMMANDS: [&str; 8] =
+                    ["configs", "fig1", "fig3", "fig4", "table2", "table3", "motivation", "all"];
+                if !COMMANDS.contains(&cmd) {
+                    return Err(format!(
+                        "unknown command `{cmd}` (expected one of: {})",
+                        COMMANDS.join(", ")
+                    ));
+                }
+                o.commands.push(cmd.to_owned());
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -148,10 +169,7 @@ fn run(o: &Options) -> Result<(), String> {
     if wants("configs") {
         let mut t = String::from("Table I: CONFIGURATIONS\n");
         t.push_str(&format!("Part A (base):        {}\n", MachineConfig::table1_base()));
-        t.push_str(&format!(
-            "Part B (sensitivity): {}\n",
-            MachineConfig::table1_sensitivity()
-        ));
+        t.push_str(&format!("Part B (sensitivity): {}\n", MachineConfig::table1_sensitivity()));
         print_and_keep(&mut emitted, "table1_configs.txt", t);
     }
 
@@ -174,14 +192,20 @@ fn run(o: &Options) -> Result<(), String> {
     let need_suite_run =
         ["fig3", "fig4", "table2", "table3", "motivation"].iter().any(|c| wants(c));
     if need_suite_run {
+        let suite = build_suite(o);
+        if suite.is_empty() {
+            return Err(format!("--select {} matched no benchmarks", o.select.join(",")));
+        }
         let exp = harness::Experiment {
-            suite: build_suite(o),
+            suite,
             warmup: if o.cold { WarmupMode::Cold } else { WarmupMode::Warmed },
+            jobs: o.jobs,
             ..harness::Experiment::default()
         };
         eprintln!(
-            "[suite] running {} benchmarks x 3 methods x 2 configs (this is the long part)...",
-            exp.suite.len()
+            "[suite] running {} benchmarks x 3 methods x 2 configs on {} worker(s)...",
+            exp.suite.len(),
+            mlpa_core::effective_jobs(exp.jobs).min(exp.suite.len().max(1)),
         );
         let results = exp.run(|r| {
             eprintln!(
@@ -218,11 +242,7 @@ fn run(o: &Options) -> Result<(), String> {
                     "[{label} cost model]\n{}",
                     report::figure_speedup(&results, harness::Method::Multilevel, model)
                 );
-                print_and_keep(
-                    &mut emitted,
-                    &format!("fig4_multilevel_speedup_{label}.txt"),
-                    t,
-                );
+                print_and_keep(&mut emitted, &format!("fig4_multilevel_speedup_{label}.txt"), t);
                 emitted.push((
                     format!("fig4_multilevel_speedup_{label}.csv"),
                     report::figure_speedup_csv(&results, harness::Method::Multilevel, model),

@@ -41,7 +41,8 @@ pub fn fig1(spec: &BenchmarkSpec) -> Result<Fig1Data, String> {
     // Fine curve + SimPoint marks.
     let fine_out = simpoint_baseline(&cb, FINE_INTERVAL, &SimPointConfig::fine_10m(), &proj)?;
     let fine_ivs = mlpa_core::pipeline::profile_fixed(&cb, FINE_INTERVAL, &proj.build(&cb));
-    let fine = curve(&fine_ivs, &fine_out.simpoints.points.iter().map(|p| p.interval).collect::<Vec<_>>());
+    let fine =
+        curve(&fine_ivs, &fine_out.simpoints.points.iter().map(|p| p.interval).collect::<Vec<_>>());
 
     // Coarse curve + COASTS marks.
     let co = coasts(&cb, &CoastsConfig::default())?;
@@ -133,8 +134,7 @@ mod tests {
         let median_step = |pts: &[CurvePoint]| {
             let spread = pts.iter().map(|p| p.pc1).fold(f64::NEG_INFINITY, f64::max)
                 - pts.iter().map(|p| p.pc1).fold(f64::INFINITY, f64::min);
-            let mut d: Vec<f64> =
-                pts.windows(2).map(|w| (w[1].pc1 - w[0].pc1).abs()).collect();
+            let mut d: Vec<f64> = pts.windows(2).map(|w| (w[1].pc1 - w[0].pc1).abs()).collect();
             d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             d[d.len() / 2] / spread.max(1e-12)
         };

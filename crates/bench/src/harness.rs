@@ -6,6 +6,8 @@ use mlpa_core::prelude::*;
 use mlpa_core::{CoastsOutcome, FineOutcome, MultilevelOutcome};
 use mlpa_sim::{MachineConfig, MetricDeviation, MetricEstimate};
 use mlpa_workloads::{BenchmarkSpec, CompiledBenchmark, Suite};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// The three methods the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +35,7 @@ impl Method {
 }
 
 /// Per-benchmark, per-method outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodResult {
     /// The executable plan.
     pub plan: SimulationPlan,
@@ -86,6 +88,10 @@ pub struct Experiment {
     pub fine: SimPointConfig,
     /// Fine interval length.
     pub fine_interval: u64,
+    /// Worker threads for [`Experiment::run`]: `1` = serial (the
+    /// default), `0` = every available core, `n` = a pool of `n`.
+    /// Results are bit-identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for Experiment {
@@ -98,6 +104,7 @@ impl Default for Experiment {
             multilevel: MultilevelConfig::default(),
             fine: SimPointConfig::fine_10m(),
             fine_interval: FINE_INTERVAL,
+            jobs: 1,
         }
     }
 }
@@ -110,9 +117,7 @@ impl Experiment {
         let suite: Suite = mlpa_workloads::suite::SPEC2000_NAMES
             .iter()
             .map(|n| {
-                mlpa_workloads::suite::benchmark_with_iters(n, 2)
-                    .expect("known name")
-                    .scaled(0.5)
+                mlpa_workloads::suite::benchmark_with_iters(n, 2).expect("known name").scaled(0.5)
             })
             .collect();
         Experiment { suite, ..Experiment::default() }
@@ -135,19 +140,19 @@ impl Experiment {
         let t0 = std::time::Instant::now();
         let cb = CompiledBenchmark::compile(spec)?;
 
-        // Plans.
-        let fine: FineOutcome =
-            simpoint_baseline(&cb, self.fine_interval, &self.fine, &self.coasts.projection)?;
-        let co: CoastsOutcome = coasts(&cb, &self.coasts)?;
-        let ml: MultilevelOutcome = multilevel(&cb, &self.multilevel)?;
+        // Plans, sharing one profiling context: the loop profile and
+        // fine intervals come from a single combined functional pass,
+        // the boundary pass runs once, and multi-level reuses the
+        // COASTS selection instead of recomputing it.
+        let mut ctx = ProfilingContext::new(&cb, self.coasts.projection, self.fine_interval);
+        ctx.prepare();
+        let fine: FineOutcome = simpoint_baseline_with(&mut ctx, &self.fine)?;
+        let co: CoastsOutcome = coasts_with(&mut ctx, &self.coasts)?;
+        let ml: MultilevelOutcome = multilevel_with(&mut ctx, &self.multilevel)?;
 
         // Ground truths + estimates per config.
-        let zero = MetricEstimate {
-            cpi: 0.0,
-            l1_hit_rate: 0.0,
-            l2_hit_rate: 0.0,
-            mispredict_rate: 0.0,
-        };
+        let zero =
+            MetricEstimate { cpi: 0.0, l1_hit_rate: 0.0, l2_hit_rate: 0.0, mispredict_rate: 0.0 };
         let mut truths = [zero; 2];
         let mut per_method: Vec<Vec<(MetricEstimate, MetricDeviation)>> = vec![Vec::new(); 3];
         for (ci, config) in self.configs.iter().enumerate() {
@@ -185,17 +190,87 @@ impl Experiment {
 
     /// Run the whole suite, calling `progress` after each benchmark.
     ///
+    /// With [`Experiment::jobs`] > 1 (or 0 = all cores) benchmarks fan
+    /// out across a bounded worker pool. Results are returned in suite
+    /// order and are bit-identical to a serial run; `progress` is
+    /// always invoked on the calling thread, in suite order, as soon as
+    /// the corresponding prefix of benchmarks has completed.
+    ///
     /// # Errors
     ///
-    /// Fails fast on the first benchmark error.
+    /// Fails on the first benchmark error in suite order (serially this
+    /// also aborts later benchmarks; in parallel, already-started ones
+    /// finish but their results are discarded).
     pub fn run(&self, mut progress: impl FnMut(&BenchResult)) -> Result<Vec<BenchResult>, String> {
-        let mut out = Vec::with_capacity(self.suite.len());
-        for spec in &self.suite {
-            let r = self.run_benchmark(spec).map_err(|e| format!("{}: {e}", spec.name))?;
-            progress(&r);
-            out.push(r);
+        let workers = mlpa_core::effective_jobs(self.jobs).min(self.suite.len().max(1));
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(self.suite.len());
+            for spec in &self.suite {
+                let r = self.run_benchmark(spec).map_err(|e| format!("{}: {e}", spec.name))?;
+                progress(&r);
+                out.push(r);
+            }
+            return Ok(out);
         }
-        Ok(out)
+
+        let specs: Vec<&BenchmarkSpec> = self.suite.iter().collect();
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, Result<BenchResult, String>)>();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, stop) = (&next, &stop);
+                let specs = &specs;
+                s.spawn(move || loop {
+                    // Claim benchmarks in suite order; stop claiming new
+                    // ones once any benchmark has failed. Claim order
+                    // guarantees the lowest-indexed failure is always
+                    // executed, so the reported error is deterministic.
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let r = self.run_benchmark(spec).map_err(|e| format!("{}: {e}", spec.name));
+                    if r.is_err() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<Result<BenchResult, String>>> =
+                (0..specs.len()).map(|_| None).collect();
+            let mut emitted = 0usize;
+            let mut first_err: Option<(usize, String)> = None;
+            for (i, r) in rx {
+                match &r {
+                    Err(e) if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) => {
+                        first_err = Some((i, e.clone()));
+                    }
+                    _ => {}
+                }
+                slots[i] = Some(r);
+                // Stream progress for the completed prefix, in order.
+                while let Some(Some(Ok(done))) = slots.get(emitted) {
+                    progress(done);
+                    emitted += 1;
+                }
+            }
+
+            if let Some((_, e)) = first_err {
+                return Err(e);
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("no failure, so every benchmark completed"))
+                .collect()
+        })
     }
 }
 
@@ -229,11 +304,7 @@ mod tests {
     fn tiny() -> Experiment {
         let suite: Suite = ["eon", "twolf"]
             .iter()
-            .map(|n| {
-                mlpa_workloads::suite::benchmark_with_iters(n, 1)
-                    .expect("known")
-                    .scaled(0.15)
-            })
+            .map(|n| mlpa_workloads::suite::benchmark_with_iters(n, 1).expect("known").scaled(0.15))
             .collect();
         Experiment { suite, ..Experiment::default() }
     }
@@ -270,5 +341,54 @@ mod tests {
     fn select_filters_suite() {
         let exp = Experiment::default().select(&["gzip"]);
         assert_eq!(exp.suite.len(), 1);
+    }
+
+    /// Everything a `BenchResult` derives from the trace must be
+    /// bit-identical across worker counts; only `elapsed` (wall clock)
+    /// may differ.
+    fn assert_same_results(a: &[BenchResult], b: &[BenchResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.total_insts, y.total_insts);
+            assert_eq!(x.truths, y.truths);
+            assert_eq!(x.methods, y.methods);
+            assert_eq!(x.coarse_k, y.coarse_k);
+            assert_eq!(x.coarse_last_position, y.coarse_last_position);
+            assert_eq!(x.fine_k, y.fine_k);
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_and_ordered() {
+        let serial = tiny().run(|_| {}).unwrap();
+        for jobs in [4, 0] {
+            let mut streamed = Vec::new();
+            let results =
+                Experiment { jobs, ..tiny() }.run(|r| streamed.push(r.name.clone())).unwrap();
+            assert_same_results(&serial, &results);
+            // Progress streams on the calling thread in suite order.
+            let order: Vec<String> = results.iter().map(|r| r.name.clone()).collect();
+            assert_eq!(streamed, order, "jobs={jobs} progress order");
+        }
+    }
+
+    #[test]
+    fn parallel_run_reports_lowest_index_error() {
+        // An empty script fails compilation at index 0; the parallel
+        // pool must report exactly that error even though later
+        // benchmarks succeed (claim order guarantees index 0 runs).
+        let mut exp = tiny();
+        let mut specs: Vec<_> = exp.suite.iter().cloned().collect();
+        let mut bad = specs[0].clone();
+        bad.name = "bad".into();
+        bad.script.clear();
+        specs.insert(0, bad);
+        exp.suite = specs.into_iter().collect();
+        exp.jobs = 4;
+        let serial_err = Experiment { jobs: 1, ..exp.clone() }.run(|_| {}).unwrap_err();
+        let parallel_err = exp.run(|_| {}).unwrap_err();
+        assert_eq!(serial_err, parallel_err);
+        assert!(parallel_err.starts_with("bad:"), "{parallel_err}");
     }
 }

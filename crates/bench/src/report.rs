@@ -15,10 +15,7 @@ pub fn figure_speedup(results: &[BenchResult], method: Method, model: &CostModel
         Method::SimPoint => "Speedup of SimPoint over itself",
     };
     let _ = writeln!(out, "{fig}  (cost ratio r = {:.1})", model.ratio());
-    let max = results
-        .iter()
-        .map(|r| speedup(r, method, model))
-        .fold(1.0_f64, f64::max);
+    let max = results.iter().map(|r| speedup(r, method, model)).fold(1.0_f64, f64::max);
     for r in results {
         let s = speedup(r, method, model);
         let bars = ((s / max) * 50.0).round() as usize;
@@ -49,11 +46,7 @@ pub fn table2(results: &[BenchResult]) -> String {
         "{:<22} | {:>10} {:>10} | {:>10} {:>10}",
         "", "A: AVG", "A: Worst", "B: AVG", "B: Worst"
     );
-    for (metric_name, pick) in [
-        ("CPI", 0usize),
-        ("L1 Cache Hit", 1),
-        ("L2 Cache Hit", 2),
-    ] {
+    for (metric_name, pick) in [("CPI", 0usize), ("L1 Cache Hit", 1), ("L2 Cache Hit", 2)] {
         let _ = writeln!(out, "--- {metric_name} ---");
         for m in Method::ALL {
             let mi = method_index(m);
@@ -100,14 +93,10 @@ pub fn table3(results: &[BenchResult]) -> String {
         let mi = method_index(m);
         let interval: Vec<f64> = results.iter().map(|r| r.methods[mi].mean_interval).collect();
         let samples: Vec<f64> = results.iter().map(|r| r.methods[mi].points as f64).collect();
-        let detail: Vec<f64> = results
-            .iter()
-            .map(|r| r.methods[mi].plan.detail_fraction().max(1e-9))
-            .collect();
-        let func: Vec<f64> = results
-            .iter()
-            .map(|r| r.methods[mi].plan.functional_fraction().max(1e-9))
-            .collect();
+        let detail: Vec<f64> =
+            results.iter().map(|r| r.methods[mi].plan.detail_fraction().max(1e-9)).collect();
+        let func: Vec<f64> =
+            results.iter().map(|r| r.methods[mi].plan.functional_fraction().max(1e-9)).collect();
         let _ = writeln!(
             out,
             "{:<22} | {:>12.0}k… {:>12.1} {:>11.3}% {:>13.2}%",
@@ -130,11 +119,7 @@ pub fn table3(results: &[BenchResult]) -> String {
 pub fn motivation(results: &[BenchResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Motivation (paper §III-B): coarse-grained phase structure");
-    let _ = writeln!(
-        out,
-        "{:>9} {:>9} {:>12} {:>8}",
-        "bench", "coarse-k", "last-pos(%)", "fine-k"
-    );
+    let _ = writeln!(out, "{:>9} {:>9} {:>12} {:>8}", "bench", "coarse-k", "last-pos(%)", "fine-k");
     for r in results {
         let _ = writeln!(
             out,
@@ -199,11 +184,7 @@ mod tests {
     fn small_results() -> Vec<BenchResult> {
         let suite: Suite = ["eon"]
             .iter()
-            .map(|n| {
-                mlpa_workloads::suite::benchmark_with_iters(n, 1)
-                    .expect("known")
-                    .scaled(0.15)
-            })
+            .map(|n| mlpa_workloads::suite::benchmark_with_iters(n, 1).expect("known").scaled(0.15))
             .collect();
         Experiment { suite, ..Experiment::default() }.run(|_| {}).unwrap()
     }

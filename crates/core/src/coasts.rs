@@ -17,13 +17,12 @@
 //! time: the last coarse point sits at ~17 % of the run on average
 //! (paper §III-B), versus ~94 % for fine-grained SimPoint.
 
-use crate::pipeline::ProjectionSettings;
+use crate::pipeline::{ProfilingContext, ProjectionSettings, FINE_INTERVAL};
 use crate::plan::SimulationPlan;
-use mlpa_phase::interval::{BoundaryProfiler, Interval};
-use mlpa_phase::loops::{LoopMonitor, LoopProfile};
+use mlpa_phase::interval::Interval;
+use mlpa_phase::loops::LoopProfile;
 use mlpa_phase::simpoint::{select, SimPointConfig, SimPoints};
-use mlpa_sim::FunctionalSim;
-use mlpa_workloads::{CompiledBenchmark, WorkloadStream};
+use mlpa_workloads::CompiledBenchmark;
 
 /// COASTS parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,10 +83,28 @@ pub struct CoastsOutcome {
 /// # Ok::<(), String>(())
 /// ```
 pub fn coasts(cb: &CompiledBenchmark, cfg: &CoastsConfig) -> Result<CoastsOutcome, String> {
+    let mut ctx = ProfilingContext::new(cb, cfg.projection, FINE_INTERVAL);
+    coasts_with(&mut ctx, cfg)
+}
+
+/// [`coasts`] on a shared [`ProfilingContext`]: reuses the context's
+/// loop profile and boundary intervals (populating them if absent), so
+/// a harness that also runs the fine baseline and multi-level sampling
+/// streams the trace once per *kind* of information rather than once
+/// per method. The context's projection is used for the signatures
+/// (its settings come from the same [`CoastsConfig::projection`] in
+/// every in-repo caller).
+///
+/// # Errors
+///
+/// Same failure modes as [`coasts`].
+pub fn coasts_with(
+    ctx: &mut ProfilingContext<'_>,
+    cfg: &CoastsConfig,
+) -> Result<CoastsOutcome, String> {
+    let cb = ctx.benchmark();
     // Pass 1: boundary information.
-    let mut monitor = LoopMonitor::new(cb.program());
-    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut monitor);
-    let profile = monitor.finish();
+    let profile = ctx.loop_profile().clone();
     let header = profile
         .select_outermost(cfg.min_coverage)
         .ok_or_else(|| {
@@ -100,26 +117,12 @@ pub fn coasts(cb: &CompiledBenchmark, cfg: &CoastsConfig) -> Result<CoastsOutcom
         .header;
 
     // Pass 2: metrics information per iteration instance.
-    let projection = cfg.projection.build(cb);
-    let mut prof = BoundaryProfiler::new(&projection, header);
-    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut prof);
-    let has_prologue = prof.has_prologue();
-    let intervals = prof.finish();
+    let (intervals, has_prologue) = ctx.boundary_intervals(header);
     if intervals.is_empty() {
         return Err(format!("benchmark {} produced an empty trace", cb.spec().name));
     }
 
-    // Coarse-grained sampling over *iteration instances only*: the
-    // prologue (code before the loop is first entered) is not an
-    // iteration of the cyclic structure, and the final interval absorbs
-    // the program's epilogue (there is no header entry after it), so
-    // neither is a pure iteration instance. Both are excluded from
-    // classification — they must neither be selected as representatives
-    // nor counted in phase weights; their few instructions are simply
-    // fast-forwarded (or never reached), as in the paper.
-    let lo = usize::from(has_prologue && intervals.len() > 1);
-    let hi = if intervals.len() - lo > 1 { intervals.len() - 1 } else { intervals.len() };
-    let body = &intervals[lo..hi];
+    let body = classification_body(intervals, has_prologue);
     let simpoints = select(body, &cfg.selection);
     let total_insts: u64 = intervals.iter().map(|iv| iv.len).sum();
     let points = simpoints
@@ -128,7 +131,38 @@ pub fn coasts(cb: &CompiledBenchmark, cfg: &CoastsConfig) -> Result<CoastsOutcom
         .map(|p| crate::plan::PlanPoint { start: p.start, len: p.len, weight: p.weight })
         .collect();
     let plan = SimulationPlan::new(points, total_insts)?;
+    let intervals = intervals.to_vec();
     Ok(CoastsOutcome { plan, simpoints, intervals, profile, header })
+}
+
+/// Coarse-grained sampling classifies *iteration instances only*: the
+/// prologue (code before the loop is first entered) is not an iteration
+/// of the cyclic structure, and the final interval absorbs the
+/// program's epilogue (there is no header entry after it), so neither
+/// is a pure iteration instance. Both are excluded from classification —
+/// they must neither be selected as representatives nor counted in
+/// phase weights; their few instructions are simply fast-forwarded (or
+/// never reached), as in the paper.
+///
+/// Degenerate traces cannot honour both exclusions and still leave
+/// something to classify, so the rule is applied best-effort, never
+/// returning an empty body:
+///
+/// * one interval — it is prologue, iterations, and epilogue at once;
+///   classify it as-is;
+/// * two intervals without a prologue — the first is a pure iteration;
+///   only the epilogue-absorbing final interval is dropped;
+/// * two intervals with a prologue — the prologue is dropped and the
+///   final interval (the loop's only iteration instance, epilogue
+///   included) is kept: a partial iteration beats non-loop code as the
+///   phase representative.
+fn classification_body(intervals: &[Interval], has_prologue: bool) -> &[Interval] {
+    let after_prologue = &intervals[usize::from(has_prologue && intervals.len() > 1)..];
+    if after_prologue.len() > 1 {
+        &after_prologue[..after_prologue.len() - 1]
+    } else {
+        after_prologue
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +245,50 @@ mod tests {
         let cfg = CoastsConfig { min_coverage: 1.5, ..CoastsConfig::default() };
         let err = coasts(&cb, &cfg).unwrap_err();
         assert!(err.contains("no cyclic structure"), "{err}");
+    }
+
+    fn iv(index: usize, start: u64, len: u64) -> Interval {
+        Interval { index, start, len, vector: vec![1.0] }
+    }
+
+    /// Pins the prologue/epilogue exclusion rule on every degenerate
+    /// interval count (the doc comment on [`classification_body`] is
+    /// the specification; these are its executable form).
+    #[test]
+    fn classification_body_edge_cases() {
+        let three = [iv(0, 0, 10), iv(1, 10, 20), iv(2, 30, 5)];
+
+        // >= 3 intervals: both exclusions apply (or just the epilogue
+        // when there is no prologue).
+        assert_eq!(classification_body(&three, true), &three[1..2]);
+        assert_eq!(classification_body(&three, false), &three[..2]);
+
+        // Exactly 2 with a prologue: drop the prologue, keep the final
+        // interval even though it absorbs the epilogue — a partial
+        // iteration beats non-loop code as the representative.
+        assert_eq!(classification_body(&three[..2], true), &three[1..2]);
+        // Exactly 2 without a prologue: the first is a pure iteration;
+        // drop only the epilogue-absorbing final interval.
+        assert_eq!(classification_body(&three[..2], false), &three[..1]);
+
+        // A single interval is prologue, body, and epilogue at once:
+        // classified as-is regardless of the prologue flag.
+        assert_eq!(classification_body(&three[..1], true), &three[..1]);
+        assert_eq!(classification_body(&three[..1], false), &three[..1]);
+    }
+
+    #[test]
+    fn classification_body_never_empty() {
+        let mut intervals = Vec::new();
+        for n in 1..6 {
+            intervals.push(iv(n - 1, (n as u64 - 1) * 10, 10));
+            for has_prologue in [false, true] {
+                let body = classification_body(&intervals, has_prologue);
+                assert!(!body.is_empty(), "n={n} prologue={has_prologue}");
+                // Everything classified is a real interval of the input.
+                assert!(body.iter().all(|b| intervals.contains(b)));
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,23 @@
 //! Plan execution: fast-forward to each simulation point, simulate it
 //! in detail, and combine the weighted per-point metrics into a
 //! whole-program estimate.
+//!
+//! Execution is available serially ([`execute_plan`]) or across a
+//! bounded worker pool ([`execute_plan_jobs`]). Both paths produce
+//! bit-identical [`ExecutionOutcome`]s: plan points are independent
+//! regions of a deterministic trace, and warm microarchitectural state
+//! is defined as *functional warming of the whole prefix* — a property
+//! each worker can reconstruct on its own from the start of the trace.
 
 use crate::plan::SimulationPlan;
 use mlpa_sim::functional::Warming;
-use mlpa_sim::{DetailedSim, FunctionalSim, MachineConfig, MetricEstimate, SimMetrics};
+use mlpa_sim::{
+    BranchUnit, DetailedSim, FunctionalSim, MachineConfig, MemoryHierarchy, MetricEstimate,
+    SimMetrics,
+};
 use mlpa_workloads::{CompiledBenchmark, WorkloadStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Microarchitectural-state policy at each simulation point.
 ///
@@ -26,13 +38,20 @@ pub enum WarmupMode {
     /// Cold caches and predictor at every point — SimpleScalar's raw
     /// `-fastfwd` behaviour.
     Cold,
-    /// Functionally warm caches and predictor during every fast-forward
-    /// (checkpoint/warming methodology).
+    /// Functionally warm caches and predictor over each point's entire
+    /// prefix (checkpoint/warming methodology). The warm state a point
+    /// sees is a pure function of its start offset, so points can be
+    /// simulated independently — and therefore in parallel — while
+    /// staying bit-identical to serial execution.
     #[default]
     Warmed,
 }
 
 /// What executing a plan cost, in actually-executed instructions.
+///
+/// Parallel execution reports the *serial-equivalent* accounting (the
+/// gaps between consecutive points), not the per-worker prefix replays,
+/// so outcomes compare across job counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecutionCost {
     /// Instructions fast-forwarded functionally.
@@ -52,12 +71,15 @@ pub struct ExecutionOutcome {
     pub cost: ExecutionCost,
 }
 
-/// Execute `plan` on `config`, producing the sampled estimate.
+/// Execute `plan` on `config` serially, producing the sampled estimate.
 ///
 /// With [`WarmupMode::Cold`] every point starts from a cold simulator
 /// (separate `sim-outorder -fastfwd` invocations, as the paper's
-/// baseline); with [`WarmupMode::Warmed`] one simulator persists and
-/// fast-forwards warm its caches and predictor.
+/// baseline); with [`WarmupMode::Warmed`] the caches and predictor are
+/// functionally warmed over each point's prefix before detailed
+/// simulation begins.
+///
+/// Equivalent to [`execute_plan_jobs`] with `jobs = 1`.
 ///
 /// # Example
 ///
@@ -82,41 +104,194 @@ pub fn execute_plan(
     plan: &SimulationPlan,
     mode: WarmupMode,
 ) -> ExecutionOutcome {
+    execute_plan_jobs(cb, config, plan, mode, 1)
+}
+
+/// Execute `plan` across up to `jobs` worker threads.
+///
+/// `jobs = 0` uses every available core, `jobs = 1` runs serially on
+/// the calling thread; the pool never exceeds the number of plan
+/// points. The outcome — estimate, per-point metrics, and cost — is
+/// bit-identical for every job count: each worker rebuilds its point's
+/// trace position (and, in [`WarmupMode::Warmed`], its functional warm
+/// state) independently from the start of the deterministic trace, and
+/// per-point results are recombined in plan order.
+///
+/// Plan points produced by this repo's selectors start on profiled
+/// interval boundaries, which is what makes a point's stream position
+/// reconstructible from its start offset alone.
+pub fn execute_plan_jobs(
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+    plan: &SimulationPlan,
+    mode: WarmupMode,
+    jobs: usize,
+) -> ExecutionOutcome {
+    let workers = effective_jobs(jobs).min(plan.len());
+    let raw = if workers <= 1 {
+        execute_points_serial(cb, config, plan, mode)
+    } else {
+        execute_points_parallel(cb, config, plan, mode, workers)
+    };
+    combine(plan, raw)
+}
+
+/// Resolve a `jobs` request: `0` means all available cores.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Per-point raw result: the stream position the detailed region
+/// started at, and its metrics.
+type PointRun = (u64, SimMetrics);
+
+fn execute_points_serial(
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+    plan: &SimulationPlan,
+    mode: WarmupMode,
+) -> Vec<PointRun> {
     let mut stream = WorkloadStream::new(cb);
     let mut func = FunctionalSim::new(cb.program());
-    let mut cost = ExecutionCost::default();
-    let mut per_point = Vec::with_capacity(plan.len());
+    let mut runs = Vec::with_capacity(plan.len());
     let mut pos = 0u64;
 
-    // One persistent simulator for warm mode; rebuilt per point for
-    // cold mode.
-    let mut warm_sim =
-        matches!(mode, WarmupMode::Warmed).then(|| DetailedSim::new(*config, cb.program()));
+    // Warm mode keeps one continuously-warmed state for the whole
+    // traversal; each point receives a snapshot of it.
+    let mut warm = matches!(mode, WarmupMode::Warmed)
+        .then(|| (MemoryHierarchy::new(config), BranchUnit::new(&config.predictor)));
 
     for p in plan.points() {
         let skip = p.start.saturating_sub(pos);
-        let skipped = match (&mut warm_sim, mode) {
-            (Some(sim), WarmupMode::Warmed) => {
-                let (hier, bu) = sim.warm_state_mut();
+        pos += match &mut warm {
+            Some((hier, bu)) => {
                 func.fast_forward(&mut stream, skip, &mut (), Warming::Warm, Some((hier, bu)))
             }
-            _ => func.fast_forward(&mut stream, skip, &mut (), Warming::None, None),
+            None => func.fast_forward(&mut stream, skip, &mut (), Warming::None, None),
         };
-        pos += skipped;
-        cost.functional_insts += skipped;
+        let start_pos = pos;
 
-        let metrics = match &mut warm_sim {
-            Some(sim) => sim.simulate(&mut stream, p.len),
+        let metrics = match &mut warm {
+            Some((hier, bu)) => {
+                // The detailed simulator runs on a fork of the stream
+                // with a snapshot of the warm state, while the primary
+                // stream warms functionally *through* the point region —
+                // so the next point's prefix state is a pure functional
+                // warm of [0, start), exactly what a parallel worker
+                // reconstructs.
+                let mut fork = stream.clone();
+                let mut sim =
+                    DetailedSim::with_warm_state(*config, cb.program(), hier.clone(), bu.clone());
+                let m = sim.simulate(&mut fork, p.len);
+                let advanced = func.fast_forward(
+                    &mut stream,
+                    m.instructions,
+                    &mut (),
+                    Warming::Warm,
+                    Some((hier, bu)),
+                );
+                debug_assert_eq!(advanced, m.instructions, "fork and primary stream diverged");
+                m
+            }
             None => {
                 let mut sim = DetailedSim::new(*config, cb.program());
                 sim.simulate(&mut stream, p.len)
             }
         };
         pos += metrics.instructions;
-        cost.detailed_insts += metrics.instructions;
-        per_point.push(metrics);
+        runs.push((start_pos, metrics));
     }
+    runs
+}
 
+fn execute_points_parallel(
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+    plan: &SimulationPlan,
+    mode: WarmupMode,
+    workers: usize,
+) -> Vec<PointRun> {
+    let points = plan.points();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, PointRun)>();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || {
+                // Claim points dynamically: early points have short
+                // prefixes, late points long ones, so static chunking
+                // would load-imbalance badly.
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(p) = points.get(i) else { break };
+                    let run = simulate_point_standalone(cb, config, p.start, p.len, mode);
+                    if tx.send((i, run)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut runs: Vec<Option<PointRun>> = vec![None; points.len()];
+        for (i, run) in rx {
+            runs[i] = Some(run);
+        }
+        runs.into_iter().map(|r| r.expect("worker pool completed every claimed point")).collect()
+    })
+}
+
+/// Simulate one plan point from a cold start of the trace: fast-forward
+/// (warming if requested) over the prefix, then run the detailed region.
+fn simulate_point_standalone(
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+    start: u64,
+    len: u64,
+    mode: WarmupMode,
+) -> PointRun {
+    let mut stream = WorkloadStream::new(cb);
+    let mut func = FunctionalSim::new(cb.program());
+    match mode {
+        WarmupMode::Cold => {
+            let prefix = func.fast_forward(&mut stream, start, &mut (), Warming::None, None);
+            let mut sim = DetailedSim::new(*config, cb.program());
+            (prefix, sim.simulate(&mut stream, len))
+        }
+        WarmupMode::Warmed => {
+            let mut hier = MemoryHierarchy::new(config);
+            let mut bu = BranchUnit::new(&config.predictor);
+            let prefix = func.fast_forward(
+                &mut stream,
+                start,
+                &mut (),
+                Warming::Warm,
+                Some((&mut hier, &mut bu)),
+            );
+            let mut sim = DetailedSim::with_warm_state(*config, cb.program(), hier, bu);
+            (prefix, sim.simulate(&mut stream, len))
+        }
+    }
+}
+
+/// Fold per-point runs into the outcome, reconstructing the
+/// serial-equivalent cost accounting from the recorded positions.
+fn combine(plan: &SimulationPlan, runs: Vec<PointRun>) -> ExecutionOutcome {
+    let mut cost = ExecutionCost::default();
+    let mut end_of_prev = 0u64;
+    let mut per_point = Vec::with_capacity(runs.len());
+    for (start_pos, m) in runs {
+        cost.functional_insts += start_pos.saturating_sub(end_of_prev);
+        cost.detailed_insts += m.instructions;
+        end_of_prev = start_pos + m.instructions;
+        per_point.push(m);
+    }
     let estimate = SimMetrics::weighted_estimate(
         plan.points().iter().zip(&per_point).map(|(p, m)| (p.weight, *m)),
     );
@@ -237,11 +412,7 @@ mod tests {
         // Many tiny points: cold-start bias should be visible.
         let total = ground_truth_len(&cb);
         let tiny: Vec<PlanPoint> = (0..8)
-            .map(|i| PlanPoint {
-                start: total / 10 * (i + 1),
-                len: 2_000,
-                weight: 0.125,
-            })
+            .map(|i| PlanPoint { start: total / 10 * (i + 1), len: 2_000, weight: 0.125 })
             .collect();
         let plan = SimulationPlan::new(tiny, total).unwrap();
         let cold = execute_plan(&cb, &MachineConfig::table1_base(), &plan, WarmupMode::Cold);
@@ -268,5 +439,27 @@ mod tests {
         let a = ground_truth(&cb, &MachineConfig::table1_base());
         let b = ground_truth(&cb, &MachineConfig::table1_base());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_serial_cold_and_warm() {
+        let cb = cb();
+        let plan = plan_of(
+            &cb,
+            &[(0.05, 0.03, 0.2), (0.2, 0.04, 0.2), (0.45, 0.03, 0.3), (0.7, 0.05, 0.3)],
+        );
+        for mode in [WarmupMode::Cold, WarmupMode::Warmed] {
+            let serial = execute_plan_jobs(&cb, &MachineConfig::table1_base(), &plan, mode, 1);
+            for jobs in [2, 4, 0] {
+                let par = execute_plan_jobs(&cb, &MachineConfig::table1_base(), &plan, mode, jobs);
+                assert_eq!(serial, par, "jobs={jobs} mode={mode:?} diverged from serial");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_cores() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
     }
 }

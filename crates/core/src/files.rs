@@ -63,17 +63,14 @@ pub fn from_str(text: &str) -> Result<SimulationPlan, String> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let mut field = |name: &str| {
-            it.next().ok_or_else(|| format!("line {}: missing {name}", lineno + 2))
-        };
-        let start: u64 = field("start")?
-            .parse()
-            .map_err(|e| format!("line {}: start: {e}", lineno + 2))?;
+        let mut field =
+            |name: &str| it.next().ok_or_else(|| format!("line {}: missing {name}", lineno + 2));
+        let start: u64 =
+            field("start")?.parse().map_err(|e| format!("line {}: start: {e}", lineno + 2))?;
         let len: u64 =
             field("len")?.parse().map_err(|e| format!("line {}: len: {e}", lineno + 2))?;
-        let weight: f64 = field("weight")?
-            .parse()
-            .map_err(|e| format!("line {}: weight: {e}", lineno + 2))?;
+        let weight: f64 =
+            field("weight")?.parse().map_err(|e| format!("line {}: weight: {e}", lineno + 2))?;
         if it.next().is_some() {
             return Err(format!("line {}: trailing fields", lineno + 2));
         }

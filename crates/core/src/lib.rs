@@ -45,23 +45,27 @@ pub mod stats;
 pub mod systematic;
 pub mod timing;
 
-pub use coasts::{coasts, CoastsConfig, CoastsOutcome};
-pub use estimate::{execute_plan, ground_truth, ExecutionCost, ExecutionOutcome, WarmupMode};
-pub use multilevel::{multilevel, MultilevelConfig, MultilevelOutcome};
+pub use coasts::{coasts, coasts_with, CoastsConfig, CoastsOutcome};
+pub use estimate::{
+    effective_jobs, execute_plan, execute_plan_jobs, ground_truth, ExecutionCost, ExecutionOutcome,
+    WarmupMode,
+};
+pub use multilevel::{multilevel, multilevel_with, MultilevelConfig, MultilevelOutcome};
 pub use pipeline::{
-    plan_from_points, simpoint_baseline, FineOutcome, ProjectionSettings, FINE_INTERVAL,
-    RESAMPLE_THRESHOLD,
+    plan_from_points, simpoint_baseline, simpoint_baseline_with, FineOutcome, ProfilingContext,
+    ProjectionSettings, FINE_INTERVAL, RESAMPLE_THRESHOLD,
 };
 pub use plan::{PlanPoint, SimulationPlan};
 pub use timing::CostModel;
 
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
-    pub use crate::coasts::{coasts, CoastsConfig};
-    pub use crate::estimate::{execute_plan, ground_truth, WarmupMode};
-    pub use crate::multilevel::{multilevel, MultilevelConfig};
+    pub use crate::coasts::{coasts, coasts_with, CoastsConfig};
+    pub use crate::estimate::{execute_plan, execute_plan_jobs, ground_truth, WarmupMode};
+    pub use crate::multilevel::{multilevel, multilevel_with, MultilevelConfig};
     pub use crate::pipeline::{
-        simpoint_baseline, ProjectionSettings, FINE_INTERVAL, RESAMPLE_THRESHOLD,
+        simpoint_baseline, simpoint_baseline_with, ProfilingContext, ProjectionSettings,
+        FINE_INTERVAL, RESAMPLE_THRESHOLD,
     };
     pub use crate::plan::SimulationPlan;
     pub use crate::stats::{geometric_mean, mean, worst};

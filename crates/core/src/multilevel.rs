@@ -9,8 +9,8 @@
 //! inside a coarse point of weight `w_c` carries `w_c · w_f` in the
 //! whole-program estimate.
 
-use crate::coasts::{coasts, CoastsConfig, CoastsOutcome};
-use crate::pipeline::{FINE_INTERVAL, RESAMPLE_THRESHOLD};
+use crate::coasts::{coasts_with, CoastsConfig, CoastsOutcome};
+use crate::pipeline::{ProfilingContext, FINE_INTERVAL, RESAMPLE_THRESHOLD};
 use crate::plan::{PlanPoint, SimulationPlan};
 use mlpa_phase::interval::FixedLengthProfiler;
 use mlpa_phase::simpoint::{select, SimPointConfig, SimPoints};
@@ -90,8 +90,26 @@ pub fn multilevel(
     cb: &CompiledBenchmark,
     cfg: &MultilevelConfig,
 ) -> Result<MultilevelOutcome, String> {
-    let first = coasts(cb, &cfg.coasts)?;
-    let projection = cfg.coasts.projection.build(cb);
+    let mut ctx = ProfilingContext::new(cb, cfg.coasts.projection, cfg.fine_interval);
+    multilevel_with(&mut ctx, cfg)
+}
+
+/// [`multilevel`] on a shared [`ProfilingContext`]: the first-level
+/// COASTS selection reuses the context's cached passes (so a harness
+/// that already ran [`coasts_with`](crate::coasts::coasts_with) pays
+/// nothing extra for the first level), and the re-sampling windows
+/// reuse the context's projection matrix.
+///
+/// # Errors
+///
+/// Same failure modes as [`multilevel`].
+pub fn multilevel_with(
+    ctx: &mut ProfilingContext<'_>,
+    cfg: &MultilevelConfig,
+) -> Result<MultilevelOutcome, String> {
+    let first = coasts_with(ctx, &cfg.coasts)?;
+    let cb = ctx.benchmark();
+    let projection = ctx.projection();
 
     let mut points: Vec<PlanPoint> = Vec::new();
     let mut resampled = Vec::new();
@@ -111,7 +129,7 @@ pub fn multilevel(
         let skip = cp.start.saturating_sub(pos);
         pos += func.fast_forward(&mut stream, skip, &mut (), Warming::None, None);
         // Profile fine intervals inside the window.
-        let mut prof = FixedLengthProfiler::new(&projection, cfg.fine_interval);
+        let mut prof = FixedLengthProfiler::new(projection, cfg.fine_interval);
         pos += func.fast_forward(&mut stream, cp.len, &mut prof, Warming::None, None);
         let intervals = prof.finish();
         if intervals.is_empty() {
@@ -124,8 +142,12 @@ pub fn multilevel(
         // phase. Like COASTS's prologue rule, it is excluded from
         // classification so it can neither be selected as a
         // representative nor skew the weights (its ~1/50 window share
-        // is simply fast-forwarded).
-        let body = if intervals.len() > 2 { &intervals[1..] } else { &intervals[..] };
+        // is simply fast-forwarded). The exclusion applies whenever a
+        // steady-state interval remains to classify — including the
+        // exactly-2-interval window, where the second interval alone
+        // represents the phase; only a 1-interval window (nothing but
+        // transition) is classified as-is.
+        let body = if intervals.len() >= 2 { &intervals[1..] } else { &intervals[..] };
         let fine = select(body, &cfg.fine);
         for fp in &fine.points {
             points.push(PlanPoint {
@@ -239,5 +261,33 @@ mod tests {
         let a = multilevel(&big_iteration_cb(), &cfg).unwrap();
         let b = multilevel(&big_iteration_cb(), &cfg).unwrap();
         assert_eq!(a.plan, b.plan);
+    }
+
+    /// Regression: a re-sampled window holding *exactly two* fine
+    /// intervals must still exclude the transition-carrying first
+    /// interval from classification — the phase representative is the
+    /// steady-state second interval, never the window start. (The
+    /// exclusion used to require three or more intervals, letting the
+    /// two-interval window select its own inter-phase transition.)
+    #[test]
+    fn two_interval_window_excludes_transition() {
+        let spec = BenchmarkSpec {
+            script: vec![ScriptEntry::new(0, 30_000); 6],
+            ..BenchmarkSpec::default()
+        };
+        let cb = CompiledBenchmark::compile(&spec).unwrap();
+        let cfg =
+            MultilevelConfig { fine_interval: 20_000, threshold: 0, ..MultilevelConfig::default() };
+        let out = multilevel(&cb, &cfg).unwrap();
+        assert!(!out.resampled.is_empty(), "threshold 0 must re-sample");
+        for r in &out.resampled {
+            // Precondition this regression pins: each ~30 k iteration
+            // splits into exactly two fine intervals on the 20 k grid.
+            assert!(r.coarse_len > cfg.fine_interval, "window of {} too small", r.coarse_len);
+            assert!(r.coarse_len < 3 * cfg.fine_interval, "window of {} too big", r.coarse_len);
+            for fp in &r.fine.points {
+                assert!(fp.start > 0, "transition interval selected at window start");
+            }
+        }
     }
 }

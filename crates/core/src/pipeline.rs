@@ -2,7 +2,8 @@
 //! fine-grained (SimPoint-baseline) plan builder.
 
 use crate::plan::{PlanPoint, SimulationPlan};
-use mlpa_phase::interval::{FixedLengthProfiler, Interval};
+use mlpa_phase::interval::{BoundaryProfiler, FixedLengthProfiler, Interval};
+use mlpa_phase::loops::{LoopMonitor, LoopProfile};
 use mlpa_phase::project::RandomProjection;
 use mlpa_phase::simpoint::{select, SimPointConfig, SimPoints};
 use mlpa_sim::FunctionalSim;
@@ -35,6 +36,139 @@ impl ProjectionSettings {
     /// Materialise the projection for a benchmark's program.
     pub fn build(&self, cb: &CompiledBenchmark) -> RandomProjection {
         RandomProjection::new(cb.program().num_blocks(), self.dim, self.seed)
+    }
+}
+
+/// Cached products of one boundary-profiling pass.
+#[derive(Debug, Clone)]
+struct BoundaryPass {
+    header: mlpa_isa::BlockId,
+    has_prologue: bool,
+    intervals: Vec<Interval>,
+}
+
+/// Shared profiling context: one projection and a cache of every
+/// whole-trace functional pass over a benchmark, so the three sampling
+/// stages (fine baseline, COASTS, multi-level) stop re-streaming the
+/// trace for information an earlier stage already collected.
+///
+/// The experiment harness previously ran **five** full functional
+/// passes per benchmark: fine-interval profiling, COASTS's loop pass,
+/// COASTS's boundary pass, and then both COASTS passes *again* inside
+/// `multilevel`. With a context, [`ProfilingContext::prepare`] collects
+/// the loop profile and the fine intervals in a single combined pass
+/// (observers compose, so both profilers ride the same stream
+/// traversal), the boundary pass runs once, and every stage reuses the
+/// results — two full passes total.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_core::coasts::{coasts_with, CoastsConfig};
+/// use mlpa_core::pipeline::{ProfilingContext, FINE_INTERVAL};
+/// use mlpa_workloads::{spec::BenchmarkSpec, CompiledBenchmark};
+///
+/// let cb = CompiledBenchmark::compile(&BenchmarkSpec::default())?;
+/// let mut ctx = ProfilingContext::new(&cb, Default::default(), FINE_INTERVAL);
+/// ctx.prepare();
+/// let out = coasts_with(&mut ctx, &CoastsConfig::default())?;
+/// assert!(out.plan.len() >= 1);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug)]
+pub struct ProfilingContext<'b> {
+    cb: &'b CompiledBenchmark,
+    settings: ProjectionSettings,
+    projection: RandomProjection,
+    fine_interval: u64,
+    loop_profile: Option<LoopProfile>,
+    fine_intervals: Option<Vec<Interval>>,
+    boundary: Option<BoundaryPass>,
+}
+
+impl<'b> ProfilingContext<'b> {
+    /// Create an empty context for `cb`; `fine_interval` is the length
+    /// used by [`ProfilingContext::fine_intervals`].
+    pub fn new(
+        cb: &'b CompiledBenchmark,
+        settings: ProjectionSettings,
+        fine_interval: u64,
+    ) -> ProfilingContext<'b> {
+        ProfilingContext {
+            cb,
+            settings,
+            projection: settings.build(cb),
+            fine_interval,
+            loop_profile: None,
+            fine_intervals: None,
+            boundary: None,
+        }
+    }
+
+    /// The benchmark this context profiles.
+    pub fn benchmark(&self) -> &'b CompiledBenchmark {
+        self.cb
+    }
+
+    /// The shared projection matrix.
+    pub fn projection(&self) -> &RandomProjection {
+        &self.projection
+    }
+
+    /// The projection settings the context was built with.
+    pub fn settings(&self) -> ProjectionSettings {
+        self.settings
+    }
+
+    /// Run the combined base pass eagerly: the loop monitor and the
+    /// fine-interval profiler share a single trace traversal. Call this
+    /// when both products will be needed (as the experiment harness
+    /// does); otherwise the lazy getters each run their own pass on
+    /// first use.
+    pub fn prepare(&mut self) {
+        if self.loop_profile.is_some() && self.fine_intervals.is_some() {
+            return;
+        }
+        let mut monitor = LoopMonitor::new(self.cb.program());
+        let mut prof = FixedLengthProfiler::new(&self.projection, self.fine_interval);
+        FunctionalSim::new(self.cb.program())
+            .run(WorkloadStream::new(self.cb), &mut (&mut monitor, &mut prof));
+        self.loop_profile = Some(monitor.finish());
+        self.fine_intervals = Some(prof.finish());
+    }
+
+    /// The loop (cyclic-structure) profile of the trace.
+    pub fn loop_profile(&mut self) -> &LoopProfile {
+        if self.loop_profile.is_none() {
+            let mut monitor = LoopMonitor::new(self.cb.program());
+            FunctionalSim::new(self.cb.program()).run(WorkloadStream::new(self.cb), &mut monitor);
+            self.loop_profile = Some(monitor.finish());
+        }
+        self.loop_profile.as_ref().expect("just computed")
+    }
+
+    /// Fixed-length intervals at the context's fine interval length.
+    pub fn fine_intervals(&mut self) -> &[Interval] {
+        if self.fine_intervals.is_none() {
+            self.fine_intervals =
+                Some(profile_fixed(self.cb, self.fine_interval, &self.projection));
+        }
+        self.fine_intervals.as_ref().expect("just computed")
+    }
+
+    /// Variable-length intervals cut at iterations of the cyclic
+    /// structure headed by `header`, plus whether the trace has a
+    /// prologue before the first header entry. Cached per header.
+    pub fn boundary_intervals(&mut self, header: mlpa_isa::BlockId) -> (&[Interval], bool) {
+        let stale = self.boundary.as_ref().is_none_or(|b| b.header != header);
+        if stale {
+            let mut prof = BoundaryProfiler::new(&self.projection, header);
+            FunctionalSim::new(self.cb.program()).run(WorkloadStream::new(self.cb), &mut prof);
+            let has_prologue = prof.has_prologue();
+            self.boundary = Some(BoundaryPass { header, has_prologue, intervals: prof.finish() });
+        }
+        let b = self.boundary.as_ref().expect("just computed");
+        (&b.intervals, b.has_prologue)
     }
 }
 
@@ -107,12 +241,28 @@ pub fn simpoint_baseline(
     cfg: &SimPointConfig,
     proj: &ProjectionSettings,
 ) -> Result<FineOutcome, String> {
-    let projection = proj.build(cb);
-    let intervals = profile_fixed(cb, interval_len, &projection);
+    let mut ctx = ProfilingContext::new(cb, *proj, interval_len);
+    simpoint_baseline_with(&mut ctx, cfg)
+}
+
+/// [`simpoint_baseline`] on a shared [`ProfilingContext`]: reuses (or
+/// populates) the context's fine-interval profile instead of running a
+/// dedicated functional pass. The interval length is the context's.
+///
+/// # Errors
+///
+/// Returns an error if the trace is empty (a spec that generates no
+/// instructions).
+pub fn simpoint_baseline_with(
+    ctx: &mut ProfilingContext<'_>,
+    cfg: &SimPointConfig,
+) -> Result<FineOutcome, String> {
+    let interval_len = ctx.fine_interval;
+    let intervals = ctx.fine_intervals();
     if intervals.is_empty() {
-        return Err(format!("benchmark {} produced an empty trace", cb.spec().name));
+        return Err(format!("benchmark {} produced an empty trace", ctx.cb.spec().name));
     }
-    let simpoints = select(&intervals, cfg);
+    let simpoints = select(intervals, cfg);
     let plan = plan_from_points(&simpoints)?;
     Ok(FineOutcome { plan, simpoints, interval_len })
 }

@@ -227,11 +227,8 @@ mod tests {
 
     #[test]
     fn whole_program_plan() {
-        let plan = SimulationPlan::new(
-            vec![PlanPoint { start: 0, len: 100, weight: 1.0 }],
-            100,
-        )
-        .unwrap();
+        let plan =
+            SimulationPlan::new(vec![PlanPoint { start: 0, len: 100, weight: 1.0 }], 100).unwrap();
         assert_eq!(plan.detail_fraction(), 1.0);
         assert_eq!(plan.functional_insts(), 0);
         assert_eq!(plan.skipped_insts(), 0);

@@ -72,11 +72,7 @@ pub fn standard_error(values: &[f64]) -> f64 {
 /// Panics if `values` is empty or contains NaN.
 pub fn worst(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "worst of nothing");
-    values
-        .iter()
-        .copied()
-        .max_by(|a, b| a.partial_cmp(b).expect("no NaNs"))
-        .expect("non-empty")
+    values.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("no NaNs")).expect("non-empty")
 }
 
 #[cfg(test)]

@@ -72,10 +72,7 @@ impl SystematicConfig {
 /// assert!(plan.last_position() > 0.7);
 /// # Ok::<(), String>(())
 /// ```
-pub fn systematic_plan(
-    total_insts: u64,
-    cfg: &SystematicConfig,
-) -> Result<SimulationPlan, String> {
+pub fn systematic_plan(total_insts: u64, cfg: &SystematicConfig) -> Result<SimulationPlan, String> {
     cfg.validate()?;
     let mut points = Vec::new();
     let mut start = cfg.offset;
@@ -186,8 +183,7 @@ mod tests {
             ..SimMetrics::default()
         };
         let few: Vec<SimMetrics> = (0..4).map(|i| unit(1.0 + 0.1 * f64::from(i % 2))).collect();
-        let many: Vec<SimMetrics> =
-            (0..64).map(|i| unit(1.0 + 0.1 * f64::from(i % 2))).collect();
+        let many: Vec<SimMetrics> = (0..64).map(|i| unit(1.0 + 0.1 * f64::from(i % 2))).collect();
         let e_few = sampling_error(&few);
         let e_many = sampling_error(&many);
         assert!(e_many.stderr < e_few.stderr, "{} !< {}", e_many.stderr, e_few.stderr);

@@ -56,13 +56,8 @@ impl CostModel {
         let t0 = std::time::Instant::now();
         let mut func = FunctionalSim::new(cb.program());
         let mut stream = WorkloadStream::new(cb);
-        let ran_f = func.fast_forward(
-            &mut stream,
-            sample_insts,
-            &mut (),
-            mlpa_sim::Warming::None,
-            None,
-        );
+        let ran_f =
+            func.fast_forward(&mut stream, sample_insts, &mut (), mlpa_sim::Warming::None, None);
         let func_time = t0.elapsed().as_secs_f64();
 
         let t1 = std::time::Instant::now();

@@ -167,25 +167,13 @@ impl Instruction {
     /// A load from `addr` into `dst`, with `base` as the address operand.
     #[inline]
     pub fn load(dst: Reg, base: Reg, addr: u64) -> Instruction {
-        Instruction {
-            op: OpClass::Load,
-            dst,
-            srcs: [base, Reg::NONE],
-            addr,
-            branch: None,
-        }
+        Instruction { op: OpClass::Load, dst, srcs: [base, Reg::NONE], addr, branch: None }
     }
 
     /// A store of `value` to `addr`, with `base` as the address operand.
     #[inline]
     pub fn store(value: Reg, base: Reg, addr: u64) -> Instruction {
-        Instruction {
-            op: OpClass::Store,
-            dst: Reg::NONE,
-            srcs: [base, value],
-            addr,
-            branch: None,
-        }
+        Instruction { op: OpClass::Store, dst: Reg::NONE, srcs: [base, value], addr, branch: None }
     }
 
     /// A control-transfer instruction with a resolved outcome. `cond` is

@@ -90,11 +90,7 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Start building a program with the given name.
     pub fn new(name: impl Into<String>) -> ProgramBuilder {
-        ProgramBuilder {
-            name: name.into(),
-            blocks: Vec::new(),
-            next_addr: TEXT_BASE,
-        }
+        ProgramBuilder { name: name.into(), blocks: Vec::new(), next_addr: TEXT_BASE }
     }
 
     /// Append a block of `len` instructions; returns its id.

@@ -88,12 +88,7 @@ pub struct KSelection {
 /// let sel = choose_k(&data, 6, 0.9, &KMeansConfig::default());
 /// assert_eq!(sel.k, 2);
 /// ```
-pub fn choose_k(
-    data: &[Vec<f64>],
-    k_max: usize,
-    threshold: f64,
-    cfg: &KMeansConfig,
-) -> KSelection {
+pub fn choose_k(data: &[Vec<f64>], k_max: usize, threshold: f64, cfg: &KMeansConfig) -> KSelection {
     assert!(!data.is_empty(), "choose_k needs data");
     assert!(k_max > 0, "k_max must be positive");
     assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
@@ -116,10 +111,8 @@ pub fn choose_k(
     };
 
     let scores: Vec<f64> = candidates.iter().map(|(_, s)| *s).collect();
-    let pick = candidates
-        .iter()
-        .position(|(_, s)| *s >= cut)
-        .expect("at least the max clears the cut");
+    let pick =
+        candidates.iter().position(|(_, s)| *s >= cut).expect("at least the max clears the cut");
     let (result, _) = candidates.swap_remove(pick);
     KSelection { k: result.k, result, scores }
 }
@@ -134,10 +127,7 @@ mod tests {
         let mut data = Vec::new();
         for c in centers {
             for _ in 0..per {
-                data.push(vec![
-                    c[0] + rng.next_gauss() * spread,
-                    c[1] + rng.next_gauss() * spread,
-                ]);
+                data.push(vec![c[0] + rng.next_gauss() * spread, c[1] + rng.next_gauss() * spread]);
             }
         }
         data

@@ -125,11 +125,7 @@ impl<'a> FixedLengthProfiler<'a> {
     /// Panics if `interval_len` is zero.
     pub fn new(proj: &'a RandomProjection, interval_len: u64) -> FixedLengthProfiler<'a> {
         assert!(interval_len > 0, "interval length must be positive");
-        FixedLengthProfiler {
-            proj,
-            interval_len,
-            acc: Accumulator::new(proj.num_blocks()),
-        }
+        FixedLengthProfiler { proj, interval_len, acc: Accumulator::new(proj.num_blocks()) }
     }
 
     /// Flush the trailing partial interval and return all intervals.

@@ -145,11 +145,7 @@ fn lloyd(data: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut SplitMix64) ->
         }
     }
 
-    let inertia = data
-        .iter()
-        .zip(&assignments)
-        .map(|(p, &a)| distance_sq(p, &centroids[a]))
-        .sum();
+    let inertia = data.iter().zip(&assignments).map(|(p, &a)| distance_sq(p, &centroids[a])).sum();
     KMeansResult { assignments, centroids, inertia, k }
 }
 

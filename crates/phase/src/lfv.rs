@@ -199,9 +199,7 @@ mod tests {
         // All intervals share the padded dimensionality.
         assert!(ivs.iter().all(|iv| iv.vector.len() == dim));
         // On a realistic suite benchmark the gap is wide.
-        let spec = mlpa_workloads::suite::benchmark_with_iters("eon", 1)
-            .expect("eon")
-            .scaled(0.05);
+        let spec = mlpa_workloads::suite::benchmark_with_iters("eon", 1).expect("eon").scaled(0.05);
         let big = CompiledBenchmark::compile(&spec).unwrap();
         let big_ivs = profile(&big, 10_000);
         assert!(

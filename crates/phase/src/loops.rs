@@ -126,23 +126,18 @@ impl Observer for LoopMonitor<'_> {
                     _ => {
                         // New loop discovered (or re-entered).
                         let depth = self.stack.len();
-                        let entry = self
-                            .stats
-                            .entry(id)
-                            .or_insert_with(|| CyclicStructure {
-                                header: id,
-                                coverage_insts: 0,
-                                back_edges: 0,
-                                entries: 0,
-                                min_depth: depth,
-                            });
+                        let entry = self.stats.entry(id).or_insert_with(|| CyclicStructure {
+                            header: id,
+                            coverage_insts: 0,
+                            back_edges: 0,
+                            entries: 0,
+                            min_depth: depth,
+                        });
                         entry.entries += 1;
                         entry.back_edges += 1;
                         entry.min_depth = entry.min_depth.min(depth);
-                        self.stack.push(Frame {
-                            header: id,
-                            header_addr: self.program.block(id).addr,
-                        });
+                        self.stack
+                            .push(Frame { header: id, header_addr: self.program.block(id).addr });
                     }
                 }
             }
@@ -235,11 +230,7 @@ mod tests {
         let prof = profile(&cb);
         // Phase inner-loop headers sit at depth 1 under the outer loop.
         let inner = cb.phases()[0].header;
-        let s = prof
-            .structures
-            .iter()
-            .find(|s| s.header == inner)
-            .expect("inner loop detected");
+        let s = prof.structures.iter().find(|s| s.header == inner).expect("inner loop detected");
         assert!(s.min_depth >= 1, "inner loop depth {}", s.min_depth);
     }
 
@@ -262,9 +253,7 @@ mod tests {
                 PhaseSpec { name: "a".into(), ..PhaseSpec::default() },
                 PhaseSpec { name: "b".into(), ..PhaseSpec::default() },
             ],
-            script: (0..10)
-                .map(|i| ScriptEntry::new(i % 2, 40_000))
-                .collect(),
+            script: (0..10).map(|i| ScriptEntry::new(i % 2, 40_000)).collect(),
             ..BenchmarkSpec::default()
         };
         let cb = CompiledBenchmark::compile(&spec).unwrap();

@@ -163,9 +163,8 @@ mod tests {
     fn first_component_captures_dominant_direction() {
         // Anisotropic cloud: x-variance 100, y-variance 1.
         let mut rng = SplitMix64::new(4);
-        let data: Vec<Vec<f64>> = (0..500)
-            .map(|_| vec![rng.next_gauss() * 10.0, rng.next_gauss()])
-            .collect();
+        let data: Vec<Vec<f64>> =
+            (0..500).map(|_| vec![rng.next_gauss() * 10.0, rng.next_gauss()]).collect();
         let pca = principal_components(&data, 2, 0);
         assert!(pca.components[0][0].abs() > 0.99, "PC1 should be ~x-axis");
         assert!(pca.eigenvalues[0] > 50.0 && pca.eigenvalues[0] < 150.0);
@@ -176,19 +175,15 @@ mod tests {
     #[test]
     fn components_are_orthonormal() {
         let mut rng = SplitMix64::new(8);
-        let data: Vec<Vec<f64>> = (0..200)
-            .map(|_| (0..5).map(|_| rng.next_gauss()).collect())
-            .collect();
+        let data: Vec<Vec<f64>> =
+            (0..200).map(|_| (0..5).map(|_| rng.next_gauss()).collect()).collect();
         let pca = principal_components(&data, 3, 0);
         for i in 0..3 {
             let n: f64 = pca.components[i].iter().map(|x| x * x).sum();
             assert!((n - 1.0).abs() < 1e-6, "component {i} not unit norm");
             for j in i + 1..3 {
-                let dot: f64 = pca.components[i]
-                    .iter()
-                    .zip(&pca.components[j])
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let dot: f64 =
+                    pca.components[i].iter().zip(&pca.components[j]).map(|(a, b)| a * b).sum();
                 assert!(dot.abs() < 1e-4, "components {i},{j} not orthogonal: {dot}");
             }
         }

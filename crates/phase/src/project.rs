@@ -42,9 +42,8 @@ impl RandomProjection {
         assert!(num_blocks > 0, "num_blocks must be positive");
         assert!(dim > 0, "dim must be positive");
         let mut rng = SplitMix64::new(seed).fork(0x50524F4A);
-        let matrix = (0..num_blocks * dim)
-            .map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 })
-            .collect();
+        let matrix =
+            (0..num_blocks * dim).map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 }).collect();
         RandomProjection { matrix, num_blocks, dim }
     }
 

@@ -221,12 +221,7 @@ mod tests {
         let intervals = prof.finish();
         let body = &intervals[1..intervals.len() - 1];
         let data: Vec<Vec<f64>> = body.iter().map(|iv| iv.vector.clone()).collect();
-        let sel = crate::bic::choose_k(
-            &data,
-            4,
-            0.9,
-            &SimPointConfig::fine_10m().kmeans,
-        );
+        let sel = crate::bic::choose_k(&data, 4, 0.9, &SimPointConfig::fine_10m().kmeans);
         let a = SequenceAnalysis::of(&sel.result.assignments);
         // swim cycles three phases in runs of 4 (widen factor).
         assert!(a.mean_run_len >= 3.0, "mean run length {}", a.mean_run_len);

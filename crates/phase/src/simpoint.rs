@@ -181,7 +181,6 @@ pub fn select(intervals: &[Interval], cfg: &SimPointConfig) -> SimPoints {
         (result, k, scores)
     };
 
-
     let total_insts: u64 = intervals.iter().map(|iv| iv.len).sum();
     // Instruction mass per cluster (VLI-correct weighting).
     let mut mass = vec![0u64; k];
@@ -192,9 +191,8 @@ pub fn select(intervals: &[Interval], cfg: &SimPointConfig) -> SimPoints {
     let mut points = Vec::with_capacity(k);
     #[allow(clippy::needless_range_loop)] // `c` also selects the centroid slice below
     for c in 0..k {
-        let members: Vec<usize> = (0..intervals.len())
-            .filter(|&i| result.assignments[i] == c)
-            .collect();
+        let members: Vec<usize> =
+            (0..intervals.len()).filter(|&i| result.assignments[i] == c).collect();
         if members.is_empty() {
             continue;
         }
@@ -207,11 +205,7 @@ pub fn select(intervals: &[Interval], cfg: &SimPointConfig) -> SimPoints {
                 .expect("non-empty cluster"),
             Selection::Earliest => members[0],
             Selection::EarlySp { tolerance } => {
-                let best = members
-                    .iter()
-                    .copied()
-                    .map(dist)
-                    .fold(f64::INFINITY, f64::min);
+                let best = members.iter().copied().map(dist).fold(f64::INFINITY, f64::min);
                 let cut = best * (1.0 + tolerance.max(0.0)) + 1e-15;
                 members
                     .iter()
@@ -244,11 +238,8 @@ mod tests {
         let mut out = Vec::new();
         let mut start = 0u64;
         for i in 0..30 {
-            let (vector, len) = if i % 2 == 0 {
-                (vec![1.0, 0.0], 1_000)
-            } else {
-                (vec![0.0, 1.0], 2_000)
-            };
+            let (vector, len) =
+                if i % 2 == 0 { (vec![1.0, 0.0], 1_000) } else { (vec![0.0, 1.0], 2_000) };
             out.push(Interval { index: i, start, len, vector });
             start += len;
         }
@@ -289,7 +280,7 @@ mod tests {
             })
             .collect();
         ivs[0].vector = vec![5.0]; // outlier is the earliest
-        // Re-index starts remain contiguous; force k = 1 by kmax 1.
+                                   // Re-index starts remain contiguous; force k = 1 by kmax 1.
         let cfg = SimPointConfig {
             k_max: 1,
             selection: Selection::Centroid,
@@ -314,7 +305,11 @@ mod tests {
             .collect();
         let strict = select(
             &ivs,
-            &SimPointConfig { k_max: 1, selection: Selection::Centroid, ..SimPointConfig::fine_10m() },
+            &SimPointConfig {
+                k_max: 1,
+                selection: Selection::Centroid,
+                ..SimPointConfig::fine_10m()
+            },
         );
         let early = select(
             &ivs,

@@ -188,10 +188,7 @@ mod tests {
         // differ.
         let same = distance_sq(&ivs[1].vector, &ivs[5].vector);
         let cross = distance_sq(&ivs[1].vector, &ivs[3].vector);
-        assert!(
-            cross > same * 2.0,
-            "cross-phase distance {cross:.6} vs same-phase {same:.6}"
-        );
+        assert!(cross > same * 2.0, "cross-phase distance {cross:.6} vs same-phase {same:.6}");
     }
 
     #[test]

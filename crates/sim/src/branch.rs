@@ -201,9 +201,7 @@ impl Btb {
     /// Look up the predicted target for the branch at `pc`.
     pub fn predict(&self, pc: u64) -> Option<BlockId> {
         let base = self.set_of(pc);
-        (0..BTB_WAYS)
-            .find(|&w| self.tags[base + w] == pc)
-            .map(|w| self.targets[base + w])
+        (0..BTB_WAYS).find(|&w| self.tags[base + w] == pc).map(|w| self.targets[base + w])
     }
 
     /// Record the actual target of the branch at `pc`.
@@ -307,8 +305,7 @@ impl BranchUnit {
         };
 
         let actual_target = if info.taken { info.target } else { fallthrough };
-        let correct =
-            pred_taken == info.taken && pred_target.is_some_and(|t| t == actual_target);
+        let correct = pred_taken == info.taken && pred_target.is_some_and(|t| t == actual_target);
 
         // Updates.
         if info.kind == BranchKind::Conditional {
@@ -470,7 +467,8 @@ mod tests {
             mispredict_penalty: 6,
         };
         let mut bu = BranchUnit::new(&cfg);
-        let info = BranchInfo { kind: BranchKind::Conditional, taken: true, target: BlockId::new(5) };
+        let info =
+            BranchInfo { kind: BranchKind::Conditional, taken: true, target: BlockId::new(5) };
         // First resolution: BTB is cold, so even a correct direction
         // guess cannot have the right target.
         let first = bu.resolve(0x80, &info, BlockId::new(1));
@@ -494,7 +492,8 @@ mod tests {
             mispredict_penalty: 6,
         };
         let mut bu = BranchUnit::new(&cfg);
-        let info = BranchInfo { kind: BranchKind::Conditional, taken: true, target: BlockId::new(5) };
+        let info =
+            BranchInfo { kind: BranchKind::Conditional, taken: true, target: BlockId::new(5) };
         for _ in 0..10 {
             bu.warm(0x80, &info, BlockId::new(1));
         }

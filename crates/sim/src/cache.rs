@@ -232,8 +232,7 @@ impl MemoryHierarchy {
         // SimpleScalar-style first/next latency: sequential-block bursts
         // pay the cheaper "following" latency.
         let block = addr >> 10;
-        let lat = if block == self.last_mem_block || block == self.last_mem_block.wrapping_add(1)
-        {
+        let lat = if block == self.last_mem_block || block == self.last_mem_block.wrapping_add(1) {
             self.mem_next
         } else {
             self.mem_first
@@ -268,8 +267,7 @@ impl MemoryHierarchy {
                 l2_hit: true,
             };
         }
-        let lat =
-            self.l1d.config().latency + self.l2.config().latency + self.mem_latency(addr);
+        let lat = self.l1d.config().latency + self.l2.config().latency + self.mem_latency(addr);
         HierarchyAccess { latency: lat, l1_hit: false, l2_hit: false }
     }
 

@@ -360,9 +360,7 @@ mod tests {
         assert!(CacheConfig { assoc: 0, ..base }.validate().is_err());
         assert!(CacheConfig { size: 1000, ..base }.validate().is_err());
         // 3 sets: not a power of two.
-        assert!(CacheConfig { size: 3 * 128, assoc: 1, line: 128, latency: 1 }
-            .validate()
-            .is_err());
+        assert!(CacheConfig { size: 3 * 128, assoc: 1, line: 128, latency: 1 }.validate().is_err());
     }
 
     #[test]

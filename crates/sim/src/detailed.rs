@@ -145,6 +145,31 @@ impl<'p> DetailedSim<'p> {
         }
     }
 
+    /// Create a simulator whose caches and branch predictor start from
+    /// an existing functional-warming checkpoint instead of cold. The
+    /// timing state (pipeline occupancy, cycle counters) starts cold and
+    /// the first [`DetailedSim::simulate`] call zeroes the inherited
+    /// statistics, so only the *contents* of the warm state carry over.
+    ///
+    /// This is how independent workers replicate the persistent-simulator
+    /// warm path: each warms a private `MemoryHierarchy`/`BranchUnit`
+    /// over its point's prefix and installs it here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`MachineConfig::validate`]).
+    pub fn with_warm_state(
+        cfg: MachineConfig,
+        program: &'p Program,
+        hier: MemoryHierarchy,
+        branch: BranchUnit,
+    ) -> DetailedSim<'p> {
+        let mut sim = DetailedSim::new(cfg, program);
+        sim.hier = hier;
+        sim.branch = branch;
+        sim
+    }
+
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
@@ -269,8 +294,7 @@ impl<'p> DetailedSim<'p> {
             if let Some(info) = &inst.branch {
                 let correct = self.branch.resolve(pc, info, fallthrough);
                 if !correct {
-                    self.redirect_at =
-                        complete + u64::from(self.cfg.predictor.mispredict_penalty);
+                    self.redirect_at = complete + u64::from(self.cfg.predictor.mispredict_penalty);
                 }
             }
 
@@ -364,11 +388,7 @@ mod tests {
     fn long_latency_divides_throttle_throughput() {
         let divs: Vec<Instruction> = (0..8)
             .map(|i| {
-                Instruction::alu(
-                    OpClass::IntDiv,
-                    Reg::int(8 + i as u8),
-                    [Reg::int(1), Reg::int(2)],
-                )
+                Instruction::alu(OpClass::IntDiv, Reg::int(8 + i as u8), [Reg::int(1), Reg::int(2)])
             })
             .collect();
         let (prog, trace) = straightline(divs, 200);
@@ -392,8 +412,14 @@ mod tests {
                 .map(|_| {
                     let mut insts: Vec<Instruction> = (0..16)
                         .map(|_| {
-                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                            Instruction::load(Reg::int(8), Reg::int(8), (0x1000_0000 + (x % ws)) & !7)
+                            x = x
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            Instruction::load(
+                                Reg::int(8),
+                                Reg::int(8),
+                                (0x1000_0000 + (x % ws)) & !7,
+                            )
                         })
                         .collect();
                     insts.push(Instruction::branch(BranchKind::Conditional, Reg::int(1), true, id));

@@ -202,8 +202,7 @@ mod tests {
     fn run_notifies_every_block_in_order() {
         let cb = compiled();
         let mut sim = FunctionalSim::new(cb.program());
-        let mut obs =
-            CountingObserver { blocks: 0, insts: 0, last_first: 0, monotone: true };
+        let mut obs = CountingObserver { blocks: 0, insts: 0, last_first: 0, monotone: true };
         let stats = sim.run(WorkloadStream::new(&cb), &mut obs);
         assert_eq!(stats.blocks, obs.blocks);
         assert_eq!(stats.instructions, obs.insts);
@@ -243,13 +242,7 @@ mod tests {
         let mut bu = BranchUnit::new(&cfg.predictor);
         let mut sim = FunctionalSim::new(cb.program());
         let mut stream = WorkloadStream::new(&cb);
-        sim.fast_forward(
-            &mut stream,
-            50_000,
-            &mut (),
-            Warming::Warm,
-            Some((&mut hier, &mut bu)),
-        );
+        sim.fast_forward(&mut stream, 50_000, &mut (), Warming::Warm, Some((&mut hier, &mut bu)));
         assert!(hier.l1d().hits() + hier.l1d().misses() > 0, "dcache touched");
         assert!(hier.l1i().hits() + hier.l1i().misses() > 0, "icache touched");
         assert_eq!(bu.predictions(), 0, "warming must not count stats");
@@ -263,13 +256,7 @@ mod tests {
         let mut bu = BranchUnit::new(&cfg.predictor);
         let mut sim = FunctionalSim::new(cb.program());
         let mut stream = WorkloadStream::new(&cb);
-        sim.fast_forward(
-            &mut stream,
-            10_000,
-            &mut (),
-            Warming::None,
-            Some((&mut hier, &mut bu)),
-        );
+        sim.fast_forward(&mut stream, 10_000, &mut (), Warming::None, Some((&mut hier, &mut bu)));
         assert_eq!(hier.l1d().hits() + hier.l1d().misses(), 0);
         assert_eq!(bu.predictions(), 0);
     }

@@ -43,6 +43,6 @@ pub use branch::BranchUnit;
 pub use cache::MemoryHierarchy;
 pub use config::{CacheConfig, FuConfig, MachineConfig, PredictorConfig};
 pub use detailed::DetailedSim;
-pub use inorder::InOrderSim;
 pub use functional::{FunctionalSim, Warming};
+pub use inorder::InOrderSim;
 pub use metrics::{MetricDeviation, MetricEstimate, SimMetrics};

@@ -29,7 +29,11 @@ fn trace_of(
     (prog, trace)
 }
 
-fn run(cfg: MachineConfig, prog: &mlpa_isa::Program, trace: &[(BlockId, Vec<Instruction>)]) -> SimMetrics {
+fn run(
+    cfg: MachineConfig,
+    prog: &mlpa_isa::Program,
+    trace: &[(BlockId, Vec<Instruction>)],
+) -> SimMetrics {
     let mut sim = DetailedSim::new(cfg, prog);
     sim.simulate(&mut SliceStream::new(trace), u64::MAX)
 }
@@ -177,10 +181,11 @@ fn icache_pressure_appears_for_large_code_footprints() {
         let prog = b.finish();
         let body: Vec<Instruction> = (0..16)
             .map(|j| {
-                Instruction::alu(OpClass::IntAlu, Reg::int(8 + (j % 16) as u8), [
-                    Reg::int(1),
-                    Reg::int(2),
-                ])
+                Instruction::alu(
+                    OpClass::IntAlu,
+                    Reg::int(8 + (j % 16) as u8),
+                    [Reg::int(1), Reg::int(2)],
+                )
             })
             .collect();
         let trace: Vec<(BlockId, Vec<Instruction>)> = (0..8_000usize)

@@ -70,12 +70,18 @@ impl InstMix {
             fp_div: 0.01,
             int_mul: 0.01,
             int_div: 0.0,
-            }
+        }
     }
 
     /// Sum of all explicit fractions.
     pub fn total(&self) -> f64 {
-        self.load + self.store + self.fp_add + self.fp_mul + self.fp_div + self.int_mul + self.int_div
+        self.load
+            + self.store
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div
+            + self.int_mul
+            + self.int_div
     }
 
     /// Check that all fractions are non-negative and sum to at most 1.

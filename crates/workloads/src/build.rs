@@ -185,15 +185,16 @@ impl<'a> Compiler<'a> {
 
     fn run(&mut self) -> CompiledBenchmark {
         let outer_header = self.add_header();
-        let phases: Vec<PhaseRt> =
-            self.spec.phases.iter().map(|p| self.compile_phase(p)).collect();
+        let phases: Vec<PhaseRt> = self.spec.phases.iter().map(|p| self.compile_phase(p)).collect();
 
         let init_phase = init_touch_phase(self.spec);
         let init = self.compile_phase(&init_phase);
-        let init_iters = (self.spec.init_insts as f64 / init.expected_inner).round().max(1.0) as u64;
+        let init_iters =
+            (self.spec.init_insts as f64 / init.expected_inner).round().max(1.0) as u64;
         let tail_phase = section_phase("tail");
         let tail = self.compile_phase(&tail_phase);
-        let tail_iters = (self.spec.tail_insts as f64 / tail.expected_inner).round().max(1.0) as u64;
+        let tail_iters =
+            (self.spec.tail_insts as f64 / tail.expected_inner).round().max(1.0) as u64;
 
         let program = std::mem::take(&mut self.builder).finish();
         CompiledBenchmark {
@@ -356,12 +357,7 @@ impl<'a> Compiler<'a> {
             insts.push(inst);
         }
         // Terminator placeholder; patched per dynamic instance.
-        insts.push(Instruction::branch(
-            BranchKind::Conditional,
-            recent[3],
-            false,
-            BlockId::new(0),
-        ));
+        insts.push(Instruction::branch(BranchKind::Conditional, recent[3], false, BlockId::new(0)));
 
         let id = self.builder.add_block(insts.len() as u32);
         self.templates.push(Template { insts, mem_slots });

@@ -20,7 +20,7 @@ use mlpa_isa::{BlockId, BranchInfo, BranchKind, Instruction};
 const MAX_REPS_FACTOR: f64 = 6.0;
 
 /// Dynamic state of one block family.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FamState {
     mem: MemoryCursor,
     branch: BranchCursor,
@@ -80,7 +80,11 @@ enum PhaseSel {
 /// assert!((stats.instructions as f64) < nominal * 1.6);
 /// # Ok::<(), String>(())
 /// ```
-#[derive(Debug)]
+/// Cloning a stream forks it at its current position: both streams
+/// then emit the identical remaining trace independently. Plan
+/// executors use this to let a detailed simulator and a functional
+/// warmer traverse the same region without re-generating the prefix.
+#[derive(Debug, Clone)]
 pub struct WorkloadStream<'a> {
     cb: &'a CompiledBenchmark,
     /// Per-family dynamic cursors, flat-indexed: all script phases in
@@ -114,12 +118,7 @@ impl<'a> WorkloadStream<'a> {
         let mut phase_base = Vec::new();
         let mut flat = 0usize;
 
-        fn push_phase(
-            rt: &PhaseRt,
-            seed: &SplitMix64,
-            fams: &mut Vec<FamState>,
-            flat: &mut usize,
-        ) {
+        fn push_phase(rt: &PhaseRt, seed: &SplitMix64, fams: &mut Vec<FamState>, flat: &mut usize) {
             for f in &rt.families {
                 fams.push(FamState {
                     mem: MemoryCursor::new(
@@ -127,10 +126,7 @@ impl<'a> WorkloadStream<'a> {
                         f.data_base,
                         seed.fork(0x4D45_4D00 ^ *flat as u64),
                     ),
-                    branch: BranchCursor::new(
-                        f.branch,
-                        seed.fork(0x4252_0000 ^ *flat as u64),
-                    ),
+                    branch: BranchCursor::new(f.branch, seed.fork(0x4252_0000 ^ *flat as u64)),
                 });
                 *flat += 1;
             }
@@ -312,7 +308,10 @@ impl<'a> WorkloadStream<'a> {
                     let flat = self.flat_base() + self.fam_idx;
                     self.micro = Micro::AfterAlt;
                     if self.take_alt {
-                        return Some(Slot { block: rt.families[self.fam_idx].alt, fam: Some(flat) });
+                        return Some(Slot {
+                            block: rt.families[self.fam_idx].alt,
+                            fam: Some(flat),
+                        });
                     }
                 }
                 Micro::AfterAlt => {
@@ -388,10 +387,7 @@ mod tests {
         let stats = drain_count(WorkloadStream::new(&cb));
         let nominal = cb.spec().nominal_insts() as f64;
         let actual = stats.instructions as f64;
-        assert!(
-            (actual / nominal - 1.0).abs() < 0.35,
-            "trace {actual} vs nominal {nominal}"
-        );
+        assert!((actual / nominal - 1.0).abs() < 0.35, "trace {actual} vs nominal {nominal}");
     }
 
     #[test]

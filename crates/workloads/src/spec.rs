@@ -154,8 +154,7 @@ impl PhaseSpec {
             return Err(format!("phase `{}` perf_drift out of [0, 1]", self.name));
         }
         for (i, b) in self.blocks.iter().enumerate() {
-            b.validate()
-                .map_err(|e| format!("phase `{}` block {i}: {e}", self.name))?;
+            b.validate().map_err(|e| format!("phase `{}` block {i}: {e}", self.name))?;
         }
         Ok(())
     }
@@ -317,8 +316,7 @@ impl BenchmarkSpec {
     /// Panics if `idx >= self.script.len()`.
     pub fn iteration_position(&self, idx: usize) -> f64 {
         assert!(idx < self.script.len(), "iteration index out of range");
-        let before: u64 =
-            self.init_insts + self.script[..idx].iter().map(|e| e.insts).sum::<u64>();
+        let before: u64 = self.init_insts + self.script[..idx].iter().map(|e| e.insts).sum::<u64>();
         before as f64 / self.nominal_insts() as f64
     }
 

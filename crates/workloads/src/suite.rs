@@ -88,35 +88,29 @@ fn families_for(kind: PhaseKind, rng: &mut SplitMix64) -> Vec<BlockSpec> {
                 }
                 PhaseKind::MemoryBound => {
                     if rng.chance(0.6) {
-                        MemoryPattern::RandomInSet {
-                            working_set: (4 << 20) << rng.range_u64(3),
-                        }
+                        MemoryPattern::RandomInSet { working_set: (4 << 20) << rng.range_u64(3) }
                     } else {
                         MemoryPattern::Strided { stride: 64, working_set: 8 << 20 }
                     }
                 }
-                PhaseKind::PointerChasing => MemoryPattern::PointerChase {
-                    working_set: (2 << 20) << rng.range_u64(3),
-                },
-                PhaseKind::FpStream => MemoryPattern::Strided {
-                    stride: 8,
-                    working_set: (2 << 20) << rng.range_u64(2),
-                },
-                PhaseKind::FpCompute => MemoryPattern::RandomInSet {
-                    working_set: (16 * 1024) << rng.range_u64(2),
-                },
+                PhaseKind::PointerChasing => {
+                    MemoryPattern::PointerChase { working_set: (2 << 20) << rng.range_u64(3) }
+                }
+                PhaseKind::FpStream => {
+                    MemoryPattern::Strided { stride: 8, working_set: (2 << 20) << rng.range_u64(2) }
+                }
+                PhaseKind::FpCompute => {
+                    MemoryPattern::RandomInSet { working_set: (16 * 1024) << rng.range_u64(2) }
+                }
             };
 
             let branch = match kind {
-                PhaseKind::BranchNoisy => BranchPattern::Biased {
-                    p_taken: rng.range_f64(0.35, 0.65),
-                },
+                PhaseKind::BranchNoisy => {
+                    BranchPattern::Biased { p_taken: rng.range_f64(0.35, 0.65) }
+                }
                 _ => {
                     if rng.chance(0.4) {
-                        BranchPattern::Periodic {
-                            taken: 1 + rng.range_u64(4) as u16,
-                            not_taken: 1,
-                        }
+                        BranchPattern::Periodic { taken: 1 + rng.range_u64(4) as u16, not_taken: 1 }
                     } else {
                         BranchPattern::Biased { p_taken: rng.range_f64(0.05, 0.3) }
                     }
@@ -167,18 +161,13 @@ fn phase(
 /// Script helper: `parts` is a sequence of `(phase, count, insts_each)`
 /// runs concatenated in order.
 fn script(parts: &[(usize, usize, u64)]) -> Vec<ScriptEntry> {
-    parts
-        .iter()
-        .flat_map(|&(p, n, sz)| std::iter::repeat_n(ScriptEntry::new(p, sz), n))
-        .collect()
+    parts.iter().flat_map(|&(p, n, sz)| std::iter::repeat_n(ScriptEntry::new(p, sz), n)).collect()
 }
 
 /// Script helper: cycle through `order` repeatedly for `total` entries of
 /// `insts_each` instructions. First occurrences land at the first cycle.
 fn cyclic_script(order: &[usize], total: usize, insts_each: u64) -> Vec<ScriptEntry> {
-    (0..total)
-        .map(|i| ScriptEntry::new(order[i % order.len()], insts_each))
-        .collect()
+    (0..total).map(|i| ScriptEntry::new(order[i % order.len()], insts_each)).collect()
 }
 
 /// Common assembly of a [`BenchmarkSpec`].
@@ -220,11 +209,7 @@ pub const DEFAULT_ITER_FACTOR: usize = 8;
 /// Widen a script by `f`: each entry becomes `f` consecutive copies.
 fn widen(mut spec: BenchmarkSpec, f: usize) -> BenchmarkSpec {
     if f > 1 {
-        spec.script = spec
-            .script
-            .iter()
-            .flat_map(|e| std::iter::repeat_n(*e, f))
-            .collect();
+        spec.script = spec.script.iter().flat_map(|e| std::iter::repeat_n(*e, f)).collect();
         let total: u64 = spec.script.iter().map(|e| e.insts).sum();
         spec.init_insts = total * 3 / 200;
         spec.tail_insts = total / 200;
@@ -477,7 +462,8 @@ fn benchmark_base(name: &str) -> Option<BenchmarkSpec> {
                 phase("bound", FpStream, 1_400, 0.1, 0.30, r),
                 phase("report", MemoryBound, 1_400, 0.1, 0.30, r),
             ];
-            let mut s = script(&[(0, 1, 550_000), (1, 1, 550_000), (2, 1, 550_000), (3, 1, 550_000)]);
+            let mut s =
+                script(&[(0, 1, 550_000), (1, 1, 550_000), (2, 1, 550_000), (3, 1, 550_000)]);
             s.push(ScriptEntry::new(4, 550_000));
             s.extend(script(&[(0, 2, 550_000)]));
             s.push(ScriptEntry::new(5, 550_000));
@@ -674,15 +660,12 @@ mod tests {
         );
         // That mega-iteration is the earliest instance of its phase.
         let mega_idx = gcc.script.iter().position(|e| e.insts == biggest).unwrap();
-        let first_of_phase = gcc
-            .script
-            .iter()
-            .position(|e| e.phase == gcc.script[mega_idx].phase)
-            .unwrap();
+        let first_of_phase =
+            gcc.script.iter().position(|e| e.phase == gcc.script[mega_idx].phase).unwrap();
         assert_eq!(mega_idx, first_of_phase);
         // The mega iteration *ends* near 86 % of the run.
-        let end_pos = gcc.iteration_position(mega_idx)
-            + biggest as f64 / gcc.nominal_insts() as f64;
+        let end_pos =
+            gcc.iteration_position(mega_idx) + biggest as f64 / gcc.nominal_insts() as f64;
         assert!((0.80..0.90).contains(&end_pos), "gcc mega end at {end_pos:.2}");
     }
 
@@ -716,8 +699,7 @@ mod tests {
         // Suite average ≈ 17 % — use the *end* position of the first
         // instance like the paper does; starting position is close
         // enough for the average check at this granularity.
-        let avg: f64 =
-            SPEC2000_NAMES.iter().map(|n| pos_of_last(n)).sum::<f64>() / 26.0;
+        let avg: f64 = SPEC2000_NAMES.iter().map(|n| pos_of_last(n)).sum::<f64>() / 26.0;
         assert!((0.08..0.26).contains(&avg), "suite average {avg:.2}");
         // Only gcc, art, bzip2 exceed 30 % (gcc measured by mega end).
         for name in SPEC2000_NAMES {
@@ -735,15 +717,11 @@ mod tests {
         let mut log_sum = 0.0;
         for name in SPEC2000_NAMES {
             let s = benchmark(name).unwrap();
-            let mean = s.script.iter().map(|e| e.insts).sum::<u64>() as f64
-                / s.script.len() as f64;
+            let mean = s.script.iter().map(|e| e.insts).sum::<u64>() as f64 / s.script.len() as f64;
             log_sum += mean.ln();
         }
         let geo = (log_sum / 26.0).exp();
-        assert!(
-            (250_000.0..900_000.0).contains(&geo),
-            "geomean iteration size {geo:.0}"
-        );
+        assert!((250_000.0..900_000.0).contains(&geo), "geomean iteration size {geo:.0}");
     }
 
     #[test]
@@ -778,12 +756,8 @@ mod tests {
     fn int_and_fp_mixes_differ() {
         let gzip = benchmark("gzip").unwrap();
         let swim = benchmark("swim").unwrap();
-        let has_fp = |s: &BenchmarkSpec| {
-            s.phases
-                .iter()
-                .flat_map(|p| &p.blocks)
-                .any(|b| b.mix.fp_add > 0.0)
-        };
+        let has_fp =
+            |s: &BenchmarkSpec| s.phases.iter().flat_map(|p| &p.blocks).any(|b| b.mix.fp_add > 0.0);
         assert!(!has_fp(&gzip), "gzip should be integer-only");
         assert!(has_fp(&swim), "swim should contain FP work");
     }

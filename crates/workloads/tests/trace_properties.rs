@@ -135,10 +135,7 @@ fn biased_branch_pattern_shapes_taken_rate() {
     };
     let low = rate(0.02);
     let high = rate(0.98);
-    assert!(
-        high > low + 0.1,
-        "taken-heavy pattern {high:.3} must exceed not-taken-heavy {low:.3}"
-    );
+    assert!(high > low + 0.1, "taken-heavy pattern {high:.3} must exceed not-taken-heavy {low:.3}");
 }
 
 #[test]

@@ -70,9 +70,8 @@ fn print_curve(intervals: &[mlpa::phase::Interval], marks: Vec<u64>) {
     let data: Vec<Vec<f64>> = intervals.iter().map(|iv| iv.vector.clone()).collect();
     let pca = principal_components(&data, 1, 0);
     let scores = pca.scores(&data, 0);
-    let (lo, hi) = scores
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &s| (l.min(s), h.max(s)));
+    let (lo, hi) =
+        scores.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &s| (l.min(s), h.max(s)));
     let span = (hi - lo).max(1e-12);
     let width = 100usize;
     let height = 12usize;
@@ -82,11 +81,8 @@ fn print_curve(intervals: &[mlpa::phase::Interval], marks: Vec<u64>) {
         let avg = chunk.iter().sum::<f64>() / chunk.len() as f64;
         let row = (((hi - avg) / span) * (height - 1) as f64).round() as usize;
         let base = col * per_col;
-        let selected = (base..base + chunk.len()).any(|i| {
-            marks
-                .iter()
-                .any(|&m| m >= intervals[i].start && m < intervals[i].end())
-        });
+        let selected = (base..base + chunk.len())
+            .any(|i| marks.iter().any(|&m| m >= intervals[i].start && m < intervals[i].end()));
         grid[row.min(height - 1)][col] = if selected { '*' } else { '.' };
     }
     for row in grid {

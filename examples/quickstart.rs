@@ -25,10 +25,7 @@ fn main() -> Result<(), String> {
     let config = MachineConfig::table1_base();
     let t0 = std::time::Instant::now();
     let truth = ground_truth(&cb, &config).estimate();
-    println!(
-        "ground truth (full detailed run, {:.1}s): {truth}",
-        t0.elapsed().as_secs_f64()
-    );
+    println!("ground truth (full detailed run, {:.1}s): {truth}", t0.elapsed().as_secs_f64());
 
     // 3. The three sampling methods.
     let fine = simpoint_baseline(
@@ -46,11 +43,9 @@ fn main() -> Result<(), String> {
         "\n{:<14} {:>6} {:>9} {:>12} {:>9} {:>9} {:>9}",
         "method", "points", "detail%", "functional%", "est CPI", "dCPI%", "speedup"
     );
-    for (label, plan) in [
-        ("10M SimPoint", &fine.plan),
-        ("COASTS", &coarse.plan),
-        ("multi-level", &multi.plan),
-    ] {
+    for (label, plan) in
+        [("10M SimPoint", &fine.plan), ("COASTS", &coarse.plan), ("multi-level", &multi.plan)]
+    {
         let est = execute_plan(&cb, &config, plan, WarmupMode::Warmed).estimate;
         let dev = est.deviation_from(&truth);
         println!(

@@ -29,8 +29,7 @@ fn three_methods_agree_with_ground_truth() {
     let co = coasts(&cb, &CoastsConfig::default()).expect("coasts");
     let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
 
-    for (label, plan) in
-        [("simpoint", &fine.plan), ("coasts", &co.plan), ("multilevel", &ml.plan)]
+    for (label, plan) in [("simpoint", &fine.plan), ("coasts", &co.plan), ("multilevel", &ml.plan)]
     {
         let est = execute_plan(&cb, &config, plan, WarmupMode::Warmed).estimate;
         let dev = est.deviation_from(&truth);
@@ -135,12 +134,7 @@ fn whole_pipeline_is_deterministic() {
     let run = || {
         let cb = small("apsi");
         let ml = multilevel(&cb, &MultilevelConfig::default()).expect("multilevel");
-        let est = execute_plan(
-            &cb,
-            &MachineConfig::table1_base(),
-            &ml.plan,
-            WarmupMode::Warmed,
-        );
+        let est = execute_plan(&cb, &MachineConfig::table1_base(), &ml.plan, WarmupMode::Warmed);
         (ml.plan, est.estimate)
     };
     let (plan1, est1) = run();
