@@ -1,17 +1,45 @@
 //! Microbenchmarks of the simulator substrate itself: trace generation,
-//! functional simulation, detailed simulation, cache accesses, branch
-//! prediction, k-means. These are the quantities the cost model
-//! (`CostModel::measure`) summarises into the detailed/functional ratio.
+//! functional simulation, detailed simulation, cache accesses, k-means,
+//! and the full phase-analysis pipeline (profile → project → cluster).
+//! These are the quantities the cost model (`CostModel::measure`)
+//! summarises into the detailed/functional ratio, plus the clustering
+//! substrate the perf baseline (`results/BENCH_phase.json`) tracks.
+//!
+//! With `MLPA_BENCH_JSON=<path>` in the environment, the run writes a
+//! machine-readable baseline of the phase-kernel benches (current vs
+//! naive, with derived speedups) to `<path>` — see
+//! `scripts/bench_phase.sh`. With `MLPA_BENCH_SMOKE=1`, every bench
+//! runs a single sample (the CI smoke mode of the vendored shim).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{Criterion, Throughput};
 use mlpa_isa::rng::SplitMix64;
 use mlpa_isa::stream::drain_count;
-use mlpa_phase::kmeans::{kmeans, KMeansConfig};
+use mlpa_isa::BlockId;
+use mlpa_phase::bic::choose_k;
+use mlpa_phase::kmeans::{kmeans, kmeans_with, KMeansConfig, KMeansResult, KMeansScratch};
+use mlpa_phase::matrix::Matrix;
+use mlpa_phase::project::RandomProjection;
+use mlpa_phase::{reference, FixedLengthProfiler};
 use mlpa_sim::cache::Cache;
 use mlpa_sim::config::CacheConfig;
 use mlpa_sim::{DetailedSim, FunctionalSim, MachineConfig};
 use mlpa_workloads::{suite, CompiledBenchmark, WorkloadStream};
 use std::hint::black_box;
+
+/// Scale of the phase-pipeline benchmark: the fine pass of a mid-sized
+/// benchmark — ≥ 1000 intervals over a realistic static-block count
+/// (real programs carry thousands of basic blocks, most of them cold;
+/// each interval touches only a few hundred).
+const NUM_BLOCKS: usize = 32_768;
+/// Hot working-set size per phase (see [`synth_events`]).
+const HOT_BLOCKS: usize = 64;
+const DIM: usize = 15;
+const INTERVAL_LEN: u64 = 10_000;
+const TARGET_INTERVALS: usize = 1_200;
+/// Fixed fine-pass cluster count for the `phase_pipeline` benchmark.
+const PIPELINE_K: usize = 10;
+/// Sweep ceiling for the `phase_sweep` (BIC `choose_k`) benchmark.
+const K_MAX: usize = 10;
 
 fn bench_substrate(c: &mut Criterion) {
     let spec = suite::benchmark_with_iters("eon", 1).expect("eon").scaled(0.05);
@@ -52,17 +80,238 @@ fn bench_substrate(c: &mut Criterion) {
         });
     });
     cache_group.finish();
-
-    let mut cluster_group = c.benchmark_group("kmeans");
-    cluster_group.sample_size(10);
-    let mut rng = SplitMix64::new(7);
-    let data: Vec<Vec<f64>> =
-        (0..2_000).map(|_| (0..15).map(|_| rng.next_gauss()).collect()).collect();
-    cluster_group.bench_function("k10_n2000_d15", |b| {
-        b.iter(|| kmeans(black_box(&data), 10, &KMeansConfig::default()));
-    });
-    cluster_group.finish();
 }
 
-criterion_group!(benches, bench_substrate);
-criterion_main!(benches);
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    // Clustered data with overlap, like projected BBV signatures: ten
+    // anchor behaviours, each point a noisy draw around one of them.
+    let mut rng = SplitMix64::new(7);
+    let anchors: Vec<Vec<f64>> =
+        (0..10).map(|_| (0..15).map(|_| 2.5 * rng.next_gauss()).collect()).collect();
+    let data: Vec<Vec<f64>> = (0..2_000)
+        .map(|_| {
+            let a = &anchors[rng.range_usize(10)];
+            a.iter().map(|&v| v + rng.next_gauss()).collect()
+        })
+        .collect();
+    group.bench_function("k10_n2000_d15", |b| {
+        b.iter(|| kmeans(black_box(&data), 10, &KMeansConfig::default()));
+    });
+    group.bench_function("k10_n2000_d15_naive", |b| {
+        b.iter(|| reference::kmeans_naive(black_box(&data), 10, &KMeansConfig::default()));
+    });
+    group.finish();
+}
+
+/// A phase-structured synthetic block-event stream: four phases, each
+/// with its own hot working set of [`HOT_BLOCKS`] basic blocks (real
+/// programs concentrate execution in a few hot blocks out of thousands
+/// of static ones), switching every 40 intervals. The hot-set bias
+/// ramps from 0.70 to 0.95 across each phase block, modelling the
+/// gradual warm-in after a phase transition; the rest of the events
+/// scatter over the full block space as a cold tail. Noisy enough that
+/// Lloyd's takes real iterations; structured enough that the BIC sweep
+/// does real work.
+fn synth_events(seed: u64) -> Vec<(u32, u64)> {
+    let mut rng = SplitMix64::new(seed);
+    let phases = 4usize;
+    let total_insts = TARGET_INTERVALS as u64 * INTERVAL_LEN;
+    let mut events = Vec::new();
+    let mut insts = 0u64;
+    while insts < total_insts {
+        let interval_idx = insts / INTERVAL_LEN;
+        let phase = ((interval_idx / 40) as usize) % phases;
+        let warm_in = (interval_idx % 40) as f64 / 40.0;
+        let bias = 0.80 + 0.15 * warm_in;
+        let b = if rng.chance(bias) {
+            phase * HOT_BLOCKS + rng.range_usize(HOT_BLOCKS)
+        } else {
+            rng.range_usize(NUM_BLOCKS)
+        };
+        let len = 10 + rng.range_u64(40);
+        events.push((b as u32, len));
+        insts += len;
+    }
+    events
+}
+
+/// In-projection profiling into contiguous row-major storage (the
+/// current kernels).
+fn profile_current(proj: &RandomProjection, events: &[(u32, u64)]) -> Matrix {
+    let mut prof = FixedLengthProfiler::new(proj, INTERVAL_LEN);
+    for &(b, n) in events {
+        prof.record(BlockId::new(b), n);
+    }
+    let intervals = prof.finish();
+    let mut data = Matrix::with_capacity(intervals.len(), proj.dim());
+    for iv in &intervals {
+        data.push_row(&iv.vector);
+    }
+    data
+}
+
+/// Pre-optimisation profiling: a raw `num_blocks`-dim BBV per interval,
+/// projected and normalised at each flush, into nested-vector storage.
+fn profile_naive(proj: &RandomProjection, events: &[(u32, u64)]) -> Vec<Vec<f64>> {
+    let mut raw = vec![0.0; proj.num_blocks()];
+    let mut count = 0u64;
+    let mut data: Vec<Vec<f64>> = Vec::new();
+    let flush = |raw: &mut Vec<f64>, count: &mut u64, data: &mut Vec<Vec<f64>>| {
+        if *count == 0 {
+            return;
+        }
+        let inv = 1.0 / *count as f64;
+        let mut v = proj.project(raw);
+        for x in &mut v {
+            *x *= inv;
+        }
+        data.push(v);
+        raw.fill(0.0);
+        *count = 0;
+    };
+    for &(b, n) in events {
+        raw[b as usize] += n as f64;
+        count += n;
+        if count >= INTERVAL_LEN {
+            flush(&mut raw, &mut count, &mut data);
+        }
+    }
+    flush(&mut raw, &mut count, &mut data);
+    data
+}
+
+/// The current clustering pipeline (profile → project → k-means at the
+/// fine-pass `k`): in-projection accumulation and the pruned Lloyd's.
+fn pipeline_current(proj: &RandomProjection, events: &[(u32, u64)]) -> KMeansResult {
+    let data = profile_current(proj, events);
+    kmeans_with(&data, PIPELINE_K, &KMeansConfig::default(), &mut KMeansScratch::new())
+}
+
+/// The pre-optimisation pipeline on the same stream: per-flush
+/// projection and the naive Lloyd's. Must produce a bit-identical
+/// [`KMeansResult`].
+fn pipeline_naive(proj: &RandomProjection, events: &[(u32, u64)]) -> KMeansResult {
+    let data = profile_naive(proj, events);
+    reference::kmeans_naive(&data, PIPELINE_K, &KMeansConfig::default())
+}
+
+/// The current BIC sweep (`choose_k`) over the profiled signatures.
+fn sweep_current(proj: &RandomProjection, events: &[(u32, u64)]) -> usize {
+    let data = profile_current(proj, events);
+    choose_k(&data, K_MAX, 0.9, &KMeansConfig::default()).k
+}
+
+/// The pre-optimisation BIC sweep (`choose_k_naive`).
+fn sweep_naive(proj: &RandomProjection, events: &[(u32, u64)]) -> usize {
+    let data = profile_naive(proj, events);
+    reference::choose_k_naive(&data, K_MAX, 0.9, &KMeansConfig::default()).k
+}
+
+fn bench_phase_pipeline(c: &mut Criterion) {
+    let proj = RandomProjection::new(NUM_BLOCKS, DIM, 0xC0A5);
+    let events = synth_events(0x5EED);
+    // Both paths must agree before we compare their cost.
+    assert_eq!(
+        pipeline_current(&proj, &events),
+        pipeline_naive(&proj, &events),
+        "pipeline implementations disagree"
+    );
+    assert_eq!(
+        sweep_current(&proj, &events),
+        sweep_naive(&proj, &events),
+        "k-sweep implementations disagree on k"
+    );
+
+    let mut group = c.benchmark_group("phase_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TARGET_INTERVALS as u64));
+    group.bench_function("current", |b| {
+        b.iter(|| pipeline_current(black_box(&proj), black_box(&events)));
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| pipeline_naive(black_box(&proj), black_box(&events)));
+    });
+    group.finish();
+
+    let mut sweep = c.benchmark_group("phase_sweep");
+    sweep.sample_size(10);
+    sweep.throughput(Throughput::Elements(TARGET_INTERVALS as u64));
+    sweep.bench_function("current", |b| {
+        b.iter(|| sweep_current(black_box(&proj), black_box(&events)));
+    });
+    sweep.bench_function("naive", |b| {
+        b.iter(|| sweep_naive(black_box(&proj), black_box(&events)));
+    });
+    sweep.finish();
+}
+
+/// Mean time of a recorded bench, by `group/id`.
+fn mean_of(measurements: &[criterion::Measurement], group: &str, id: &str) -> Option<f64> {
+    measurements.iter().find(|m| m.group == group && m.id == id).map(|m| m.mean_ns)
+}
+
+/// Emit the phase-kernel baseline as hand-formatted JSON (the workspace
+/// is dependency-free; the values are flat numbers and simple strings).
+fn write_bench_json(path: &std::ffi::OsStr, measurements: &[criterion::Measurement]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mlpa-bench-phase-v1\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{ \"num_blocks\": {NUM_BLOCKS}, \"dim\": {DIM}, \"interval_len\": {INTERVAL_LEN}, \"intervals\": {TARGET_INTERVALS}, \"pipeline_k\": {PIPELINE_K}, \"k_max\": {K_MAX} }},\n"
+    ));
+    out.push_str("  \"benches\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {} }}{comma}\n",
+            m.group, m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples
+        ));
+    }
+    out.push_str("  ],\n");
+    let pipeline = match (
+        mean_of(measurements, "phase_pipeline", "naive"),
+        mean_of(measurements, "phase_pipeline", "current"),
+    ) {
+        (Some(naive), Some(current)) if current > 0.0 => naive / current,
+        _ => 0.0,
+    };
+    let sweep = match (
+        mean_of(measurements, "phase_sweep", "naive"),
+        mean_of(measurements, "phase_sweep", "current"),
+    ) {
+        (Some(naive), Some(current)) if current > 0.0 => naive / current,
+        _ => 0.0,
+    };
+    let kmeans_speedup = match (
+        mean_of(measurements, "kmeans", "k10_n2000_d15_naive"),
+        mean_of(measurements, "kmeans", "k10_n2000_d15"),
+    ) {
+        (Some(naive), Some(current)) if current > 0.0 => naive / current,
+        _ => 0.0,
+    };
+    out.push_str(&format!(
+        "  \"speedups\": {{ \"phase_pipeline\": {pipeline:.2}, \"phase_sweep\": {sweep:.2}, \"kmeans\": {kmeans_speedup:.2} }}\n"
+    ));
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("failed to write {}: {e}", path.to_string_lossy());
+    } else {
+        println!("wrote bench baseline to {}", path.to_string_lossy());
+        println!(
+            "speedups: phase_pipeline {pipeline:.2}x, phase_sweep {sweep:.2}x, kmeans {kmeans_speedup:.2}x"
+        );
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_substrate(&mut criterion);
+    bench_kmeans(&mut criterion);
+    bench_phase_pipeline(&mut criterion);
+    let measurements = criterion::take_measurements();
+    if let Some(path) = std::env::var_os("MLPA_BENCH_JSON") {
+        write_bench_json(&path, &measurements);
+    }
+}

@@ -123,6 +123,9 @@ pub fn coasts_with(
     }
 
     let body = classification_body(intervals, has_prologue);
+    // `select` copies the signatures into contiguous row-major storage
+    // and clusters with the pruned k-means (see DESIGN.md, "Kernel
+    // layout").
     let simpoints = select(body, &cfg.selection);
     let total_insts: u64 = intervals.iter().map(|iv| iv.len).sum();
     let points = simpoints

@@ -128,7 +128,9 @@ pub fn multilevel_with(
         // Fast-forward to the coarse point.
         let skip = cp.start.saturating_sub(pos);
         pos += func.fast_forward(&mut stream, skip, &mut (), Warming::None, None);
-        // Profile fine intervals inside the window.
+        // Profile fine intervals inside the window. A profiler holds
+        // O(dim) state (it accumulates in projected space), so one per
+        // coarse window is cheap even when num_blocks is large.
         let mut prof = FixedLengthProfiler::new(projection, cfg.fine_interval);
         pos += func.fast_forward(&mut stream, cp.len, &mut prof, Warming::None, None);
         let intervals = prof.finish();

@@ -130,6 +130,9 @@ impl<'b> ProfilingContext<'b> {
             return;
         }
         let mut monitor = LoopMonitor::new(self.cb.program());
+        // The profiler accumulates in the projected space (O(dim) state
+        // and O(dim) per flush, independent of num_blocks), so carrying
+        // it alongside the loop monitor adds little to the pass.
         let mut prof = FixedLengthProfiler::new(&self.projection, self.fine_interval);
         FunctionalSim::new(self.cb.program())
             .run(WorkloadStream::new(self.cb), &mut (&mut monitor, &mut prof));

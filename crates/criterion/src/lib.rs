@@ -13,8 +13,49 @@
 //! HTML reports.
 //!
 //! [Criterion.rs]: https://github.com/bheisler/criterion.rs
+//!
+//! Two extensions beyond printing:
+//!
+//! * every `bench_function` pushes a [`Measurement`] into a process-wide
+//!   buffer that a custom `main` can drain with [`take_measurements`]
+//!   (the bench harness uses this to emit `BENCH_phase.json`);
+//! * setting the `MLPA_BENCH_SMOKE` environment variable forces one
+//!   sample per benchmark, so CI can run every bench once as a smoke
+//!   test without paying for full sample counts.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One recorded benchmark timing, as drained by [`take_measurements`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean wall-clock per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample, in nanoseconds.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drain every measurement recorded since the last call (process-wide,
+/// in execution order).
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().expect("measurement buffer poisoned"))
+}
+
+/// Whether the smoke-test mode is active (`MLPA_BENCH_SMOKE` set to
+/// anything non-empty): every benchmark runs exactly one timed sample.
+fn smoke_mode() -> bool {
+    std::env::var_os("MLPA_BENCH_SMOKE").is_some_and(|v| !v.is_empty())
+}
 
 /// Throughput configuration for a benchmark group (subset of Criterion's).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,13 +111,22 @@ impl BenchmarkGroup<'_> {
 
     /// Run one benchmark and print its timing summary.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let sample_size = if smoke_mode() { 1 } else { self.sample_size };
+        let mut b = Bencher { samples: Vec::new(), sample_size };
         f(&mut b);
         let n = b.samples.len().max(1) as u32;
         let total: Duration = b.samples.iter().sum();
         let mean = total / n;
         let min = b.samples.iter().min().copied().unwrap_or_default();
         let max = b.samples.iter().max().copied().unwrap_or_default();
+        MEASUREMENTS.lock().expect("measurement buffer poisoned").push(Measurement {
+            group: self.name.clone(),
+            id: id.to_string(),
+            mean_ns: mean.as_nanos() as f64,
+            min_ns: min.as_nanos() as f64,
+            max_ns: max.as_nanos() as f64,
+            samples: b.samples.len(),
+        });
         let mut line = format!(
             "{}/{}: [{} {} {}]",
             self.name,
@@ -174,6 +224,23 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_drained() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("record-test");
+        group.sample_size(3);
+        group.bench_function("probe", |b| b.iter(|| std::hint::black_box(2 * 2)));
+        group.finish();
+        // Other tests share the process-wide buffer; inspect only our
+        // own group's entry.
+        let ours: Vec<Measurement> =
+            take_measurements().into_iter().filter(|m| m.group == "record-test").collect();
+        assert_eq!(ours.len(), 1);
+        assert_eq!(ours[0].id, "probe");
+        assert_eq!(ours[0].samples, 3);
+        assert!(ours[0].min_ns <= ours[0].mean_ns && ours[0].mean_ns <= ours[0].max_ns);
     }
 
     #[test]

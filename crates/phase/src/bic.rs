@@ -6,8 +6,13 @@
 //! formulation of Pelleg & Moore), and picks the *smallest* `k` whose
 //! score covers at least a threshold (default 90 %) of the spread
 //! between the worst and best scores seen.
+//!
+//! The sweep operates on the contiguous [`Matrix`] point storage and
+//! reuses one [`KMeansScratch`] across all candidate `k`, so the only
+//! allocations that scale with the sweep are the retained results.
 
-use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
+use crate::kmeans::{kmeans_with, KMeansConfig, KMeansResult, KMeansScratch};
+use crate::matrix::Matrix;
 use crate::project::distance_sq;
 
 /// BIC score of a clustering (bigger is better).
@@ -18,18 +23,18 @@ use crate::project::distance_sq;
 /// # Panics
 ///
 /// Panics if `data` is empty or the result does not match `data`.
-pub fn bic(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
-    assert!(!data.is_empty(), "bic needs data");
-    assert_eq!(data.len(), result.assignments.len(), "result does not match data");
-    let r = data.len() as f64;
-    let m = data[0].len() as f64;
+pub fn bic(data: &Matrix, result: &KMeansResult) -> f64 {
+    assert!(data.rows() > 0, "bic needs data");
+    assert_eq!(data.rows(), result.assignments.len(), "result does not match data");
+    let r = data.rows() as f64;
+    let m = data.cols() as f64;
     let k = result.k as f64;
 
     // Pooled MLE variance.
     let sse: f64 = data
-        .iter()
+        .iter_rows()
         .zip(&result.assignments)
-        .map(|(p, &a)| distance_sq(p, &result.centroids[a]))
+        .map(|(p, &a)| distance_sq(p, result.centroids.row(a)))
         .sum();
     let denom = (r - k).max(1.0) * m;
     let sigma2 = (sse / denom).max(1e-12);
@@ -78,6 +83,7 @@ pub struct KSelection {
 /// ```
 /// use mlpa_phase::bic::choose_k;
 /// use mlpa_phase::kmeans::KMeansConfig;
+/// use mlpa_phase::matrix::Matrix;
 ///
 /// use mlpa_isa::rng::SplitMix64;
 ///
@@ -85,18 +91,19 @@ pub struct KSelection {
 /// let mut rng = SplitMix64::new(1);
 /// let mut data: Vec<Vec<f64>> = (0..30).map(|_| vec![rng.next_gauss()]).collect();
 /// data.extend((0..30).map(|_| vec![50.0 + rng.next_gauss()]));
-/// let sel = choose_k(&data, 6, 0.9, &KMeansConfig::default());
+/// let sel = choose_k(&Matrix::from_rows(&data), 6, 0.9, &KMeansConfig::default());
 /// assert_eq!(sel.k, 2);
 /// ```
-pub fn choose_k(data: &[Vec<f64>], k_max: usize, threshold: f64, cfg: &KMeansConfig) -> KSelection {
-    assert!(!data.is_empty(), "choose_k needs data");
+pub fn choose_k(data: &Matrix, k_max: usize, threshold: f64, cfg: &KMeansConfig) -> KSelection {
+    assert!(data.rows() > 0, "choose_k needs data");
     assert!(k_max > 0, "k_max must be positive");
     assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
 
-    let k_hi = k_max.min(data.len());
+    let k_hi = k_max.min(data.rows());
+    let mut scratch = KMeansScratch::new();
     let mut candidates: Vec<(KMeansResult, f64)> = Vec::with_capacity(k_hi);
     for k in 1..=k_hi {
-        let r = kmeans(data, k, cfg);
+        let r = kmeans_with(data, k, cfg, &mut scratch);
         let s = bic(data, &r);
         candidates.push((r, s));
     }
@@ -120,14 +127,18 @@ pub fn choose_k(data: &[Vec<f64>], k_max: usize, threshold: f64, cfg: &KMeansCon
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kmeans::kmeans;
     use mlpa_isa::rng::SplitMix64;
 
-    fn blobs(centers: &[[f64; 2]], per: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+    fn blobs(centers: &[[f64; 2]], per: usize, spread: f64, seed: u64) -> Matrix {
         let mut rng = SplitMix64::new(seed);
-        let mut data = Vec::new();
+        let mut data = Matrix::with_capacity(centers.len() * per, 2);
         for c in centers {
             for _ in 0..per {
-                data.push(vec![c[0] + rng.next_gauss() * spread, c[1] + rng.next_gauss() * spread]);
+                data.push_row(&[
+                    c[0] + rng.next_gauss() * spread,
+                    c[1] + rng.next_gauss() * spread,
+                ]);
             }
         }
         data
@@ -154,10 +165,11 @@ mod tests {
     #[test]
     fn bic_prefers_true_k() {
         let data = blobs(&[[0.0, 0.0], [30.0, 0.0], [0.0, 30.0]], 40, 0.5, 5);
+        let rows = data.to_rows();
         let cfg = KMeansConfig::default();
-        let b2 = bic(&data, &kmeans(&data, 2, &cfg));
-        let b3 = bic(&data, &kmeans(&data, 3, &cfg));
-        let b7 = bic(&data, &kmeans(&data, 7, &cfg));
+        let b2 = bic(&data, &kmeans(&rows, 2, &cfg));
+        let b3 = bic(&data, &kmeans(&rows, 3, &cfg));
+        let b7 = bic(&data, &kmeans(&rows, 7, &cfg));
         assert!(b3 > b2, "k=3 should beat k=2: {b3} vs {b2}");
         assert!(b3 > b7, "k=3 should beat overfit k=7: {b3} vs {b7}");
     }
@@ -179,7 +191,7 @@ mod tests {
 
     #[test]
     fn fewer_points_than_kmax() {
-        let data = vec![vec![0.0], vec![100.0]];
+        let data = Matrix::from_rows(&[vec![0.0], vec![100.0]]);
         let sel = choose_k(&data, 30, 0.9, &KMeansConfig::default());
         assert!(sel.k <= 2);
     }
@@ -187,6 +199,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold")]
     fn bad_threshold_panics() {
-        let _ = choose_k(&[vec![0.0]], 2, 1.5, &KMeansConfig::default());
+        let _ = choose_k(&Matrix::from_rows(&[vec![0.0]]), 2, 1.5, &KMeansConfig::default());
     }
 }

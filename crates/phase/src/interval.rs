@@ -49,36 +49,48 @@ impl Interval {
 }
 
 /// Shared accumulation machinery for both profilers.
+///
+/// The signature is accumulated **directly in the projected space**:
+/// `add` performs `dim` fused multiply-adds against the block's cached
+/// projection row instead of bumping one slot of a raw
+/// `num_blocks`-dimensional BBV. Projection is linear, so this is
+/// bit-identical to materialising the raw BBV and projecting at flush
+/// (all contributions are integer instruction counts, which `f64` sums
+/// exactly in any order — `kernel_properties.rs` pins the equivalence).
+/// The payoff: profiler state shrinks from `O(num_blocks)` to
+/// `O(dim)` and a flush costs `O(dim)` instead of the old
+/// `O(num_blocks × dim)` projection sweep.
+///
+/// Normalisation to relative frequencies (SimPoint's treatment)
+/// happens *after* projection: dividing the projected vector by the
+/// interval length equals projecting the normalised BBV, again by
+/// linearity.
 #[derive(Debug)]
 struct Accumulator {
-    raw: Vec<f64>,
+    /// Projected-space accumulator (`dim` floats).
+    acc: Vec<f64>,
     count: u64,
     start: u64,
     intervals: Vec<Interval>,
 }
 
 impl Accumulator {
-    fn new(num_blocks: usize) -> Accumulator {
-        Accumulator { raw: vec![0.0; num_blocks], count: 0, start: 0, intervals: Vec::new() }
+    fn new(dim: usize) -> Accumulator {
+        Accumulator { acc: vec![0.0; dim], count: 0, start: 0, intervals: Vec::new() }
     }
 
-    fn add(&mut self, id: BlockId, insts: u64) {
-        self.raw[id.index()] += insts as f64;
+    #[inline]
+    fn add(&mut self, proj: &RandomProjection, id: BlockId, insts: u64) {
+        proj.accumulate(id.index(), insts as f64, &mut self.acc);
         self.count += insts;
     }
 
-    fn flush(&mut self, proj: &RandomProjection) {
+    fn flush(&mut self) {
         if self.count == 0 {
             return;
         }
-        // Normalise the BBV to relative frequencies *before* projecting
-        // (SimPoint's treatment); with a linear projection this equals
-        // dividing the projected vector by the interval length.
         let inv = 1.0 / self.count as f64;
-        let mut vector = proj.project(&self.raw);
-        for v in &mut vector {
-            *v *= inv;
-        }
+        let vector: Vec<f64> = self.acc.iter().map(|v| v * inv).collect();
         self.intervals.push(Interval {
             index: self.intervals.len(),
             start: self.start,
@@ -87,7 +99,7 @@ impl Accumulator {
         });
         self.start += self.count;
         self.count = 0;
-        self.raw.fill(0.0);
+        self.acc.fill(0.0);
     }
 }
 
@@ -125,22 +137,30 @@ impl<'a> FixedLengthProfiler<'a> {
     /// Panics if `interval_len` is zero.
     pub fn new(proj: &'a RandomProjection, interval_len: u64) -> FixedLengthProfiler<'a> {
         assert!(interval_len > 0, "interval length must be positive");
-        FixedLengthProfiler { proj, interval_len, acc: Accumulator::new(proj.num_blocks()) }
+        FixedLengthProfiler { proj, interval_len, acc: Accumulator::new(proj.dim()) }
+    }
+
+    /// Record one executed block of `insts` instructions — the raw form
+    /// of the [`Observer`] hook, usable without constructing instruction
+    /// slices (benchmarks, synthetic streams, property tests).
+    #[inline]
+    pub fn record(&mut self, id: BlockId, insts: u64) {
+        self.acc.add(self.proj, id, insts);
+        if self.acc.count >= self.interval_len {
+            self.acc.flush();
+        }
     }
 
     /// Flush the trailing partial interval and return all intervals.
     pub fn finish(mut self) -> Vec<Interval> {
-        self.acc.flush(self.proj);
+        self.acc.flush();
         self.acc.intervals
     }
 }
 
 impl Observer for FixedLengthProfiler<'_> {
     fn on_block(&mut self, id: BlockId, insts: &[Instruction], _first: u64) {
-        self.acc.add(id, insts.len() as u64);
-        if self.acc.count >= self.interval_len {
-            self.acc.flush(self.proj);
-        }
+        self.record(id, insts.len() as u64);
     }
 }
 
@@ -164,10 +184,25 @@ impl<'a> BoundaryProfiler<'a> {
         BoundaryProfiler {
             proj,
             header,
-            acc: Accumulator::new(proj.num_blocks()),
+            acc: Accumulator::new(proj.dim()),
             seen_header: false,
             has_prologue: false,
         }
+    }
+
+    /// Record one executed block of `insts` instructions — the raw form
+    /// of the [`Observer`] hook (see
+    /// [`FixedLengthProfiler::record`](FixedLengthProfiler::record)).
+    #[inline]
+    pub fn record(&mut self, id: BlockId, insts: u64) {
+        if id == self.header {
+            if !self.seen_header {
+                self.seen_header = true;
+                self.has_prologue = self.acc.count > 0;
+            }
+            self.acc.flush();
+        }
+        self.acc.add(self.proj, id, insts);
     }
 
     /// The boundary block.
@@ -187,21 +222,14 @@ impl<'a> BoundaryProfiler<'a> {
 
     /// Flush the trailing interval and return all intervals.
     pub fn finish(mut self) -> Vec<Interval> {
-        self.acc.flush(self.proj);
+        self.acc.flush();
         self.acc.intervals
     }
 }
 
 impl Observer for BoundaryProfiler<'_> {
     fn on_block(&mut self, id: BlockId, insts: &[Instruction], _first: u64) {
-        if id == self.header {
-            if !self.seen_header {
-                self.seen_header = true;
-                self.has_prologue = self.acc.count > 0;
-            }
-            self.acc.flush(self.proj);
-        }
-        self.acc.add(id, insts.len() as u64);
+        self.record(id, insts.len() as u64);
     }
 }
 

@@ -14,6 +14,12 @@
 //! [`simpoint::select`](crate::simpoint::select), so swapping the phase
 //! metric is a one-line change. The `ablation_metric` bench compares
 //! the two metrics end to end.
+//!
+//! Unlike the BBV profilers — which accumulate directly in the
+//! 15-dimensional projected space (see DESIGN.md, "Kernel layout") —
+//! the LFV profiler counts in its native header space: that space is
+//! already small (loops ≪ blocks) and its dimensionality is only known
+//! once profiling ends, so there is no projection to fold in.
 
 use crate::interval::Interval;
 use mlpa_isa::{BlockId, Instruction, Program};

@@ -13,8 +13,12 @@
 //! * [`loops`] — dynamic detection of cyclic program structures from
 //!   backward branches, with coverage statistics (COASTS's boundary
 //!   collection step);
-//! * [`kmeans`] / [`bic`] — the phase classifier and SimPoint's
-//!   BIC-based choice of the number of phases;
+//! * [`matrix`] — flat row-major storage the clustering kernels run on;
+//! * [`kmeans`] / [`bic`] — the phase classifier (Hamerly-pruned
+//!   Lloyd's over contiguous storage) and SimPoint's BIC-based choice
+//!   of the number of phases;
+//! * [`reference`] — the naive clustering implementations kept as an
+//!   executable specification and bench baseline;
 //! * [`pca`] — principal components for visualising phase behaviour
 //!   (the paper's Fig. 1);
 //! * [`simpoint`] — representative selection (classic SimPoint,
@@ -45,13 +49,16 @@ pub mod interval;
 pub mod kmeans;
 pub mod lfv;
 pub mod loops;
+pub mod matrix;
 pub mod pca;
 pub mod project;
+pub mod reference;
 pub mod sequence;
 pub mod simpoint;
 pub mod wss;
 
 pub use interval::{BoundaryProfiler, FixedLengthProfiler, Interval};
 pub use loops::{CyclicStructure, LoopMonitor, LoopProfile};
+pub use matrix::Matrix;
 pub use project::RandomProjection;
 pub use simpoint::{select, Selection, SimPoint, SimPointConfig, SimPoints};

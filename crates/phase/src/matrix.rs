@@ -1,0 +1,220 @@
+//! Flat, row-major numeric storage for the clustering kernels.
+//!
+//! The phase classifier used to shuttle `Vec<Vec<f64>>` around: one heap
+//! allocation per point and per centroid, with every distance evaluation
+//! chasing a pointer per row. [`Matrix`] replaces that with a single
+//! contiguous buffer — rows are `cols`-length slices carved out of one
+//! allocation, so a nearest-centroid scan walks memory linearly and the
+//! Lloyd update writes into reusable scratch instead of reallocating
+//! `vec![vec![0.0; dim]; k]` every iteration.
+//!
+//! The numeric semantics are identical to the nested-vector code: a row
+//! is an ordinary `&[f64]`, and [`distance_sq`](crate::project::distance_sq)
+//! over two rows performs exactly the same operations in the same order
+//! as it did over two `Vec<f64>`s (a property test pins this).
+
+use std::fmt;
+
+/// A dense row-major `rows × cols` matrix of `f64` in one allocation.
+///
+/// # Example
+///
+/// ```
+/// use mlpa_phase::matrix::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.row(1), &[3.0, 4.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// An empty matrix with `cols` columns and row capacity for `rows`,
+    /// ready for [`push_row`](Matrix::push_row).
+    pub fn with_capacity(rows: usize, cols: usize) -> Matrix {
+        Matrix { data: Vec::with_capacity(rows * cols), rows: 0, cols }
+    }
+
+    /// Copy a slice of equal-length vectors into one contiguous matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut m = Matrix::with_capacity(rows.len(), cols);
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.cols()`.
+    pub fn push_row(&mut self, src: &[f64]) {
+        assert_eq!(src.len(), self.cols, "row length mismatch");
+        self.data.extend_from_slice(src);
+        self.rows += 1;
+    }
+
+    /// Overwrite row `i` with `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `src.len() != self.cols()`.
+    pub fn set_row(&mut self, i: usize, src: &[f64]) {
+        self.row_mut(i).copy_from_slice(src);
+    }
+
+    /// Drop all rows, keeping the allocation (and the column count) for
+    /// reuse as scratch.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.rows = 0;
+    }
+
+    /// Reshape into an all-zero `rows × cols` scratch buffer, reusing
+    /// the existing allocation when it is large enough.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Iterate over the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        // `chunks_exact(0)` panics, so give the empty matrix a chunk
+        // size that yields nothing.
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Squared Euclidean distance between row `i` of `self` and row `j`
+    /// of `other` — same arithmetic, in the same order, as
+    /// [`distance_sq`](crate::project::distance_sq) on the row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or an index is out of range.
+    #[inline]
+    pub fn row_distance_sq(&self, i: usize, other: &Matrix, j: usize) -> f64 {
+        crate::project::distance_sq(self.row(i), other.row(j))
+    }
+
+    /// Copy the matrix back out as nested vectors (diagnostics,
+    /// interop with row-oriented consumers).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.iter_rows().map(<[f64]>::to_vec).collect()
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Matrix {
+        Matrix::zeros(0, 0)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Matrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("data", &self.data)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_rows() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let m = Matrix::from_rows(&rows);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.to_rows(), rows);
+        assert_eq!(m.iter_rows().count(), 2);
+    }
+
+    #[test]
+    fn mutation_and_scratch_reuse() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set_row(0, &[1.0, 2.0]);
+        m.row_mut(1)[1] = 7.0;
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[0.0, 7.0]);
+        m.reset_zeroed(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert!(m.iter_rows().all(|r| r == [0.0, 0.0]));
+        m.clear();
+        assert_eq!(m.rows(), 0);
+        m.push_row(&[9.0, 9.0]);
+        assert_eq!(m.row(0), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn row_distance_matches_slice_distance() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert_eq!(a.row_distance_sq(0, &b, 0), 25.0);
+        assert_eq!(a.row_distance_sq(1, &a, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_iterates_nothing() {
+        let m = Matrix::with_capacity(0, 0);
+        assert_eq!(m.iter_rows().count(), 0);
+        assert_eq!(Matrix::from_rows(&[]).rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn ragged_rows_rejected() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

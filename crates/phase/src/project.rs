@@ -67,13 +67,46 @@ impl RandomProjection {
         let mut out = vec![0.0; self.dim];
         for (b, &x) in raw.iter().enumerate() {
             if x != 0.0 {
-                let row = &self.matrix[b * self.dim..(b + 1) * self.dim];
-                for (o, &m) in out.iter_mut().zip(row) {
-                    *o += x * m;
-                }
+                self.accumulate(b, x, &mut out);
             }
         }
         out
+    }
+
+    /// The projection coefficients of input block `block` (row `block`
+    /// of the matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.num_blocks()`.
+    #[inline]
+    pub fn block_row(&self, block: usize) -> &[f64] {
+        &self.matrix[block * self.dim..(block + 1) * self.dim]
+    }
+
+    /// Fused multiply-add of `x` times block `block`'s projection row
+    /// into `acc` — the *in-projection* form of BBV accumulation.
+    ///
+    /// The projection is linear, so accumulating each block observation
+    /// directly in the projected space commutes with building the raw
+    /// `num_blocks`-dimensional BBV and projecting it afterwards; with
+    /// integer-valued contributions (instruction counts) the two paths
+    /// are bit-identical, because every partial sum is an integer that
+    /// `f64` represents exactly. This is what lets the interval
+    /// profilers keep `dim` floats of state instead of `num_blocks`,
+    /// and makes an interval flush `O(dim)` instead of
+    /// `O(num_blocks × dim)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.num_blocks()` or
+    /// `acc.len() != self.dim()`.
+    #[inline]
+    pub fn accumulate(&self, block: usize, x: f64, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.dim, "accumulator dimensionality mismatch");
+        for (o, &m) in acc.iter_mut().zip(self.block_row(block)) {
+            *o += x * m;
+        }
     }
 }
 
@@ -155,5 +188,30 @@ mod tests {
     fn distance_sq_basics() {
         assert_eq!(distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert_eq!(distance_sq(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn accumulate_matches_project() {
+        // Integer-count contributions accumulated block-by-block equal
+        // the batch projection of the raw BBV bit-for-bit.
+        let p = RandomProjection::new(40, 7, 11);
+        let mut rng = SplitMix64::new(5);
+        let mut raw = vec![0.0; 40];
+        let mut acc = vec![0.0; 7];
+        for _ in 0..300 {
+            let b = rng.range_usize(40);
+            let insts = 1 + rng.range_u64(50);
+            raw[b] += insts as f64;
+            p.accumulate(b, insts as f64, &mut acc);
+        }
+        assert_eq!(acc, p.project(&raw));
+    }
+
+    #[test]
+    fn block_row_entries_are_rademacher() {
+        let p = RandomProjection::new(10, 6, 2);
+        for b in 0..10 {
+            assert!(p.block_row(b).iter().all(|&m| m == 1.0 || m == -1.0));
+        }
     }
 }

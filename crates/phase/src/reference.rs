@@ -1,0 +1,257 @@
+//! Naive reference implementations of the clustering kernels.
+//!
+//! These are the pre-optimisation `Vec<Vec<f64>>` code paths, kept as an
+//! executable specification: [`lloyd_naive`] allocates its accumulators
+//! afresh every iteration and scans every centroid for every point, with
+//! no pruning and no scratch reuse. The optimised kernels in
+//! [`crate::kmeans`] are required to produce **identical** output —
+//! a `#[cfg(test)]` assertion inside `kmeans_with` compares every
+//! restart against [`lloyd_naive`], and `kernel_properties.rs` pins the
+//! equivalence on randomised inputs. The bench harness also uses this
+//! module as the "before" side of the `phase_pipeline` comparison.
+//!
+//! One deliberate deviation from the historical code: the empty-cluster
+//! re-seed here measures each candidate against its **own** assigned
+//! centroid. The original measured every candidate against the first
+//! point's centroid — a bug, fixed in both this reference and the
+//! optimised path so they stay comparable.
+
+use crate::bic::KSelection;
+use crate::kmeans::{KMeansConfig, KMeansResult};
+use crate::matrix::Matrix;
+use crate::project::distance_sq;
+use mlpa_isa::rng::SplitMix64;
+
+/// Naive k-means: k-means++ seeding, plain Lloyd's, multiple restarts.
+/// Same contract (and same output) as [`crate::kmeans::kmeans`].
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `k` is zero.
+pub fn kmeans_naive(data: &[Vec<f64>], k: usize, cfg: &KMeansConfig) -> KMeansResult {
+    assert!(!data.is_empty(), "kmeans needs at least one point");
+    assert!(k > 0, "k must be positive");
+
+    if k >= data.len() {
+        return KMeansResult {
+            assignments: (0..data.len()).collect(),
+            centroids: Matrix::from_rows(data),
+            inertia: 0.0,
+            k: data.len(),
+        };
+    }
+
+    let mut best: Option<KMeansResult> = None;
+    let base = SplitMix64::new(cfg.seed);
+    for r in 0..cfg.restarts.max(1) {
+        let mut rng = base.fork(r as u64);
+        let result = lloyd_naive(data, k, cfg.max_iters, &mut rng);
+        if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+/// One naive Lloyd's run: fresh `vec![vec![0.0; dim]; k]` accumulators
+/// every iteration, full nearest-centroid scan for every point.
+pub fn lloyd_naive(
+    data: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    rng: &mut SplitMix64,
+) -> KMeansResult {
+    let mut centroids = plus_plus_seed_naive(data, k, rng);
+    let mut assignments = vec![0usize; data.len()];
+
+    for _ in 0..max_iters {
+        let mut changed = false;
+        // Assign.
+        for (i, p) in data.iter().enumerate() {
+            let a = nearest_naive(p, &centroids).0;
+            if a != assignments[i] {
+                assignments[i] = a;
+                changed = true;
+            }
+        }
+        // Update.
+        let dim = data[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in data.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the point farthest from
+                // its own assigned centroid (last maximum wins on ties).
+                let mut far = 0;
+                let mut best = f64::NEG_INFINITY;
+                for (i, &a) in assignments.iter().enumerate() {
+                    let d = distance_sq(&data[i], &centroids[a]);
+                    if d >= best {
+                        best = d;
+                        far = i;
+                    }
+                }
+                centroids[c] = data[far].clone();
+                changed = true;
+            } else {
+                let cnt = counts[c] as f64;
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / cnt;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = data.iter().zip(&assignments).map(|(p, &a)| distance_sq(p, &centroids[a])).sum();
+    KMeansResult { assignments, centroids: Matrix::from_rows(&centroids), inertia, k }
+}
+
+/// k-means++ seeding over nested vectors; consumes the RNG in exactly
+/// the same sequence as the optimised seeding.
+fn plus_plus_seed_naive(data: &[Vec<f64>], k: usize, rng: &mut SplitMix64) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(data[rng.range_usize(data.len())].clone());
+    let mut d2: Vec<f64> = data.iter().map(|p| distance_sq(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let idx = if total <= 0.0 {
+            rng.range_usize(data.len())
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut pick = data.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        };
+        centroids.push(data[idx].clone());
+        for (i, p) in data.iter().enumerate() {
+            let d = distance_sq(p, centroids.last().expect("just pushed"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Nearest centroid over nested vectors (strict `<`: lowest index wins).
+fn nearest_naive(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = distance_sq(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// BIC score with the same formula as [`crate::bic::bic`], evaluated
+/// against nested-vector data.
+pub fn bic_naive(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
+    assert!(!data.is_empty(), "bic needs data");
+    assert_eq!(data.len(), result.assignments.len(), "result does not match data");
+    let r = data.len() as f64;
+    let m = data[0].len() as f64;
+    let k = result.k as f64;
+
+    let sse: f64 = data
+        .iter()
+        .zip(&result.assignments)
+        .map(|(p, &a)| distance_sq(p, result.centroids.row(a)))
+        .sum();
+    let denom = (r - k).max(1.0) * m;
+    let sigma2 = (sse / denom).max(1e-12);
+
+    let sizes = result.sizes();
+    let mut loglik = 0.0;
+    for &n in &sizes {
+        if n == 0 {
+            continue;
+        }
+        let rn = n as f64;
+        loglik += rn * (rn.ln() - r.ln())
+            - rn * m / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln()
+            - (rn - 1.0) * m / 2.0;
+    }
+    let params = (k - 1.0) + k * m + 1.0;
+    loglik - params / 2.0 * r.ln()
+}
+
+/// Naive k-selection sweep with the same selection rule as
+/// [`crate::bic::choose_k`], built on [`kmeans_naive`] / [`bic_naive`].
+pub fn choose_k_naive(
+    data: &[Vec<f64>],
+    k_max: usize,
+    threshold: f64,
+    cfg: &KMeansConfig,
+) -> KSelection {
+    assert!(!data.is_empty(), "choose_k needs data");
+    assert!(k_max > 0, "k_max must be positive");
+    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+
+    let k_hi = k_max.min(data.len());
+    let mut candidates: Vec<(KMeansResult, f64)> = Vec::with_capacity(k_hi);
+    for k in 1..=k_hi {
+        let r = kmeans_naive(data, k, cfg);
+        let s = bic_naive(data, &r);
+        candidates.push((r, s));
+    }
+    let lo = candidates.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let hi = candidates.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+    let cut = if hi > 0.0 {
+        threshold * hi
+    } else if (hi - lo).abs() < 1e-12 {
+        lo
+    } else {
+        lo + threshold * (hi - lo)
+    };
+
+    let scores: Vec<f64> = candidates.iter().map(|(_, s)| *s).collect();
+    let pick =
+        candidates.iter().position(|(_, s)| *s >= cut).expect("at least the max clears the cut");
+    let (result, _) = candidates.swap_remove(pick);
+    KSelection { k: result.k, result, scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_kmeans_matches_optimised() {
+        // The cfg(test) hook inside kmeans_with already cross-checks
+        // per restart; this checks end-to-end best-of-restarts too.
+        let mut rng = SplitMix64::new(4242);
+        let data: Vec<Vec<f64>> =
+            (0..60).map(|_| (0..4).map(|_| rng.next_gauss()).collect()).collect();
+        let cfg = KMeansConfig::default();
+        assert_eq!(kmeans_naive(&data, 4, &cfg), crate::kmeans::kmeans(&data, 4, &cfg));
+    }
+
+    #[test]
+    fn naive_choose_k_matches_optimised() {
+        let mut rng = SplitMix64::new(7);
+        let mut data: Vec<Vec<f64>> =
+            (0..25).map(|_| vec![rng.next_gauss(), rng.next_gauss()]).collect();
+        data.extend((0..25).map(|_| vec![40.0 + rng.next_gauss(), rng.next_gauss()]));
+        let cfg = KMeansConfig::default();
+        let naive = choose_k_naive(&data, 5, 0.9, &cfg);
+        let fast = crate::bic::choose_k(&Matrix::from_rows(&data), 5, 0.9, &cfg);
+        assert_eq!(naive, fast);
+    }
+}

@@ -220,7 +220,10 @@ mod tests {
         FunctionalSim::new(cb.program()).run(WorkloadStream::new(&cb), &mut prof);
         let intervals = prof.finish();
         let body = &intervals[1..intervals.len() - 1];
-        let data: Vec<Vec<f64>> = body.iter().map(|iv| iv.vector.clone()).collect();
+        let mut data = crate::matrix::Matrix::with_capacity(body.len(), 15);
+        for iv in body {
+            data.push_row(&iv.vector);
+        }
         let sel = crate::bic::choose_k(&data, 4, 0.9, &SimPointConfig::fine_10m().kmeans);
         let a = SequenceAnalysis::of(&sel.result.assignments);
         // swim cycles three phases in runs of 4 (widen factor).

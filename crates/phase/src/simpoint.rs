@@ -15,6 +15,8 @@
 use crate::bic::{choose_k, KSelection};
 use crate::interval::Interval;
 use crate::kmeans::{nearest, KMeansConfig};
+use crate::matrix::Matrix;
+use crate::project::distance_sq;
 
 /// How the representative interval of each cluster is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -154,17 +156,26 @@ impl SimPoints {
 /// ```
 pub fn select(intervals: &[Interval], cfg: &SimPointConfig) -> SimPoints {
     assert!(!intervals.is_empty(), "no intervals to select from");
-    let data: Vec<Vec<f64>> = intervals.iter().map(|iv| iv.vector.clone()).collect();
+    // One contiguous copy of the signatures — the clustering kernels
+    // operate on flat row-major storage.
+    let dim = intervals[0].vector.len();
+    let mut data = Matrix::with_capacity(intervals.len(), dim);
+    for iv in intervals {
+        data.push_row(&iv.vector);
+    }
 
     // Cluster on a stride subsample when the interval count is large,
     // then extend the assignment to every interval.
     let cap = cfg.max_cluster_samples.max(cfg.k_max + 1);
-    let (result, k, scores) = if data.len() > cap {
-        let stride = data.len().div_ceil(cap);
-        let sample: Vec<Vec<f64>> = data.iter().step_by(stride).cloned().collect();
+    let (result, k, scores) = if data.rows() > cap {
+        let stride = data.rows().div_ceil(cap);
+        let mut sample = Matrix::with_capacity(data.rows().div_ceil(stride), dim);
+        for i in (0..data.rows()).step_by(stride) {
+            sample.push_row(data.row(i));
+        }
         let KSelection { result: sub, k, scores } =
             choose_k(&sample, cfg.k_max, cfg.bic_threshold, &cfg.kmeans);
-        let assignments = data.iter().map(|p| nearest(p, &sub.centroids).0).collect();
+        let assignments = data.iter_rows().map(|p| nearest(p, &sub.centroids).0).collect();
         (
             crate::kmeans::KMeansResult {
                 assignments,
@@ -189,14 +200,13 @@ pub fn select(intervals: &[Interval], cfg: &SimPointConfig) -> SimPoints {
     }
 
     let mut points = Vec::with_capacity(k);
-    #[allow(clippy::needless_range_loop)] // `c` also selects the centroid slice below
-    for c in 0..k {
+    for (c, &cluster_mass) in mass.iter().enumerate().take(k) {
         let members: Vec<usize> =
             (0..intervals.len()).filter(|&i| result.assignments[i] == c).collect();
         if members.is_empty() {
             continue;
         }
-        let dist = |i: usize| nearest(&intervals[i].vector, &result.centroids[c..=c]).1;
+        let dist = |i: usize| distance_sq(&intervals[i].vector, result.centroids.row(c));
         let rep = match cfg.selection {
             Selection::Centroid => members
                 .iter()
@@ -219,7 +229,7 @@ pub fn select(intervals: &[Interval], cfg: &SimPointConfig) -> SimPoints {
             interval: rep,
             start: iv.start,
             len: iv.len,
-            weight: mass[c] as f64 / total_insts as f64,
+            weight: cluster_mass as f64 / total_insts as f64,
             cluster: c,
         });
     }

@@ -79,13 +79,13 @@ impl WssProfiler {
         if self.count_insts == 0 {
             return;
         }
-        let mut vector = std::mem::replace(&mut self.buckets, vec![0.0; self.dim]);
-        // Normalise by interval length: the magnitude carries the
-        // working-set *rate* (distinct lines per instruction).
+        // Normalise by interval length while copying out: the magnitude
+        // carries the working-set *rate* (distinct lines per
+        // instruction). The bucket buffer is zeroed and reused rather
+        // than reallocated per interval.
         let inv = 1.0 / self.count_insts as f64;
-        for v in &mut vector {
-            *v *= inv;
-        }
+        let vector: Vec<f64> = self.buckets.iter().map(|v| v * inv).collect();
+        self.buckets.fill(0.0);
         self.seen.clear();
         self.intervals.push(Interval {
             index: self.intervals.len(),

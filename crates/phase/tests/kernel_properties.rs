@@ -1,0 +1,142 @@
+//! Property tests pinning the optimised numeric kernels to their naive
+//! counterparts, in the randomised style of the workspace-level
+//! `proptest_invariants`: every case is generated from a SplitMix64
+//! fork of the case index, so a failure report identifies a fully
+//! reproducible input.
+
+use mlpa_isa::rng::SplitMix64;
+use mlpa_isa::BlockId;
+use mlpa_phase::kmeans::{kmeans, KMeansConfig};
+use mlpa_phase::matrix::Matrix;
+use mlpa_phase::project::{distance_sq, RandomProjection};
+use mlpa_phase::reference;
+use mlpa_phase::FixedLengthProfiler;
+
+const CASES: u64 = 12;
+
+/// Incremental in-projection accumulation (what the profilers do per
+/// block) equals batch raw-BBV accumulation followed by one projection
+/// and normalisation (what the old code did per flush). The contract is
+/// 1e-9; because every contribution is an integer instruction count —
+/// exactly representable and exactly summable in f64 — the paths are in
+/// fact bit-identical, and the assertion demands that.
+#[test]
+fn incremental_accumulation_matches_batch_projection() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xACC0).fork(case);
+        let num_blocks = 8 + rng.range_usize(120);
+        let dim = 3 + rng.range_usize(13);
+        let interval_len = 500 + rng.range_u64(2_000);
+        let proj = RandomProjection::new(num_blocks, dim, 0xBEEF + case);
+
+        let mut prof = FixedLengthProfiler::new(&proj, interval_len);
+        // Model of the old implementation: a raw num_blocks-dim BBV,
+        // flushed by the same block-granular rule, projected and then
+        // normalised.
+        let mut raw = vec![0.0; num_blocks];
+        let mut count = 0u64;
+        let mut expected: Vec<Vec<f64>> = Vec::new();
+        let flush = |raw: &mut Vec<f64>, count: &mut u64, out: &mut Vec<Vec<f64>>| {
+            if *count == 0 {
+                return;
+            }
+            let inv = 1.0 / *count as f64;
+            let mut v = proj.project(raw);
+            for x in &mut v {
+                *x *= inv;
+            }
+            out.push(v);
+            raw.fill(0.0);
+            *count = 0;
+        };
+
+        let events = 200 + rng.range_usize(800);
+        for _ in 0..events {
+            let b = rng.range_usize(num_blocks);
+            let insts = 1 + rng.range_u64(40);
+            prof.record(BlockId::new(b as u32), insts);
+            raw[b] += insts as f64;
+            count += insts;
+            if count >= interval_len {
+                flush(&mut raw, &mut count, &mut expected);
+            }
+        }
+        flush(&mut raw, &mut count, &mut expected);
+
+        let got = prof.finish();
+        assert_eq!(got.len(), expected.len(), "case {case}: interval count");
+        for (iv, exp) in got.iter().zip(&expected) {
+            assert_eq!(&iv.vector, exp, "case {case}: interval {} signature", iv.index);
+        }
+    }
+}
+
+/// `Matrix::row_distance_sq` performs exactly the same arithmetic as
+/// the slice-based `distance_sq` — bitwise, not approximately.
+#[test]
+fn matrix_distance_equals_slice_distance() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xD157).fork(case);
+        let rows = 2 + rng.range_usize(30);
+        let cols = 1 + rng.range_usize(16);
+        let data: Vec<Vec<f64>> =
+            (0..rows).map(|_| (0..cols).map(|_| rng.next_gauss() * 100.0).collect()).collect();
+        let m = Matrix::from_rows(&data);
+        for _ in 0..50 {
+            let i = rng.range_usize(rows);
+            let j = rng.range_usize(rows);
+            let expect = distance_sq(&data[i], &data[j]);
+            let got = m.row_distance_sq(i, &m, j);
+            assert!(got == expect, "case {case}: rows ({i},{j}): {got} vs {expect}");
+        }
+    }
+}
+
+/// The Hamerly-pruned k-means produces identical assignments, centroids,
+/// and inertia to the naive reference on randomised inputs — including
+/// duplicate-heavy data that forces empty-cluster reseeds.
+#[test]
+fn pruned_kmeans_matches_naive_reference() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x4B4D).fork(case);
+        let n = 20 + rng.range_usize(180);
+        let dim = 1 + rng.range_usize(10);
+        let k = 1 + rng.range_usize(8);
+        let data: Vec<Vec<f64>> = if case % 3 == 0 {
+            // Duplicate-heavy: a handful of distinct anchors repeated,
+            // which collapses clusters and exercises the reseed path.
+            let anchors: Vec<Vec<f64>> =
+                (0..3).map(|_| (0..dim).map(|_| rng.next_gauss() * 5.0).collect()).collect();
+            (0..n).map(|_| anchors[rng.range_usize(anchors.len())].clone()).collect()
+        } else {
+            (0..n).map(|_| (0..dim).map(|_| rng.next_gauss() * 10.0).collect()).collect()
+        };
+        let cfg = KMeansConfig { restarts: 3, max_iters: 60, seed: 0x5EED + case };
+        let fast = kmeans(&data, k, &cfg);
+        let naive = reference::kmeans_naive(&data, k, &cfg);
+        assert_eq!(fast, naive, "case {case}: n={n} dim={dim} k={k}");
+    }
+}
+
+/// The full BIC k-selection sweep (scratch-reusing, Matrix-based)
+/// matches the naive sweep end to end: same chosen k, same scores, same
+/// clustering.
+#[test]
+fn choose_k_matches_naive_reference() {
+    for case in 0..4u64 {
+        let mut rng = SplitMix64::new(0xB1C).fork(case);
+        let clusters = 1 + rng.range_usize(3);
+        let dim = 2 + rng.range_usize(4);
+        let mut data: Vec<Vec<f64>> = Vec::new();
+        for c in 0..clusters {
+            let center: Vec<f64> = (0..dim).map(|_| 30.0 * c as f64 + rng.next_gauss()).collect();
+            for _ in 0..25 {
+                data.push(center.iter().map(|x| x + rng.next_gauss() * 0.5).collect());
+            }
+        }
+        let cfg = KMeansConfig::default();
+        let fast = mlpa_phase::bic::choose_k(&Matrix::from_rows(&data), 6, 0.9, &cfg);
+        let naive = reference::choose_k_naive(&data, 6, 0.9, &cfg);
+        assert_eq!(fast, naive, "case {case}");
+    }
+}
