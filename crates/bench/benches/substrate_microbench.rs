@@ -247,6 +247,51 @@ fn bench_phase_pipeline(c: &mut Criterion) {
     sweep.finish();
 }
 
+/// Instrumentation overhead on the hottest pipeline: the phase pass
+/// with obs runtime-disabled (one relaxed load per call site; literally
+/// nothing when the `obs` feature is compiled out) versus runtime-
+/// enabled (only measurable when built with `--features obs`).
+fn bench_obs_overhead(c: &mut Criterion) {
+    let proj = RandomProjection::new(NUM_BLOCKS, DIM, 0xC0A5);
+    let events = synth_events(0x5EED);
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TARGET_INTERVALS as u64));
+    mlpa_obs::set_enabled(false);
+    group.bench_function("pipeline_instrumentation_off", |b| {
+        b.iter(|| pipeline_current(black_box(&proj), black_box(&events)));
+    });
+    if cfg!(feature = "obs") {
+        mlpa_obs::set_enabled(true);
+        group.bench_function("pipeline_instrumentation_on", |b| {
+            b.iter(|| pipeline_current(black_box(&proj), black_box(&events)));
+        });
+        mlpa_obs::set_enabled(false);
+    }
+    group.finish();
+}
+
+/// With `--features obs`, pin the enabled-mode overhead of the phase
+/// pipeline below a few percent (skipped in `MLPA_BENCH_SMOKE` runs,
+/// whose single samples are too noisy to compare).
+fn assert_obs_overhead(measurements: &[criterion::Measurement]) {
+    if !cfg!(feature = "obs") || std::env::var_os("MLPA_BENCH_SMOKE").is_some() {
+        return;
+    }
+    let off = mean_of(measurements, "obs_overhead", "pipeline_instrumentation_off");
+    let on = mean_of(measurements, "obs_overhead", "pipeline_instrumentation_on");
+    if let (Some(off), Some(on)) = (off, on) {
+        let overhead = on / off - 1.0;
+        println!("obs enabled-mode pipeline overhead: {:+.2}%", overhead * 100.0);
+        assert!(
+            overhead < 0.05,
+            "enabled-mode obs overhead {:.2}% exceeds the 5% budget \
+             (off {off:.0} ns, on {on:.0} ns)",
+            overhead * 100.0
+        );
+    }
+}
+
 /// Mean time of a recorded bench, by `group/id`.
 fn mean_of(measurements: &[criterion::Measurement], group: &str, id: &str) -> Option<f64> {
     measurements.iter().find(|m| m.group == group && m.id == id).map(|m| m.mean_ns)
@@ -310,7 +355,9 @@ fn main() {
     bench_substrate(&mut criterion);
     bench_kmeans(&mut criterion);
     bench_phase_pipeline(&mut criterion);
+    bench_obs_overhead(&mut criterion);
     let measurements = criterion::take_measurements();
+    assert_obs_overhead(&measurements);
     if let Some(path) = std::env::var_os("MLPA_BENCH_JSON") {
         write_bench_json(&path, &measurements);
     }

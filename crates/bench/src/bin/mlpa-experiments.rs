@@ -24,10 +24,17 @@
 //!   --ratio R         cost-model ratio c_d/c_f (default: paper 32.5)
 //!   --measured-ratio  also report speedups at the measured ratio
 //!   --out DIR         output directory (default: results)
+//!   --quiet           errors only on stderr (tables still print)
+//!   --verbose         extra per-step detail on stderr
+//!   --progress        per-benchmark progress lines even under --quiet
+//!   --obs PATH        stream JSONL observability events to PATH and
+//!                     write <out>/RUN_REPORT.json (needs a build with
+//!                     `--features obs`)
 //! ```
 
 use mlpa_bench::{fig1, harness, report};
 use mlpa_core::prelude::*;
+use mlpa_obs::{elog, info, progress, vlog};
 use mlpa_sim::MachineConfig;
 use mlpa_workloads::{suite, CompiledBenchmark, Suite};
 use std::fs;
@@ -44,6 +51,10 @@ struct Options {
     ratio: f64,
     measured_ratio: bool,
     out: PathBuf,
+    quiet: bool,
+    verbose: bool,
+    progress: bool,
+    obs: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -58,6 +69,10 @@ fn parse_args() -> Result<Options, String> {
         ratio: 32.5,
         measured_ratio: false,
         out: PathBuf::from("results"),
+        quiet: false,
+        verbose: false,
+        progress: false,
+        obs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -65,6 +80,10 @@ fn parse_args() -> Result<Options, String> {
             "--quick" => o.quick = true,
             "--cold" => o.cold = true,
             "--measured-ratio" => o.measured_ratio = true,
+            "--quiet" => o.quiet = true,
+            "--verbose" => o.verbose = true,
+            "--progress" => o.progress = true,
+            "--obs" => o.obs = Some(PathBuf::from(args.next().ok_or("--obs needs a value")?)),
             "--select" => {
                 let v = args.next().ok_or("--select needs a value")?;
                 o.select = v.split(',').map(str::to_owned).collect();
@@ -116,6 +135,9 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
+    if o.quiet && o.verbose {
+        return Err("--quiet and --verbose are mutually exclusive".into());
+    }
     if o.commands.is_empty() {
         o.commands.push("all".into());
     }
@@ -146,12 +168,34 @@ fn main() {
     let o = match parse_args() {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
+            elog!("error", "{e}");
             std::process::exit(2);
         }
     };
+    mlpa_obs::set_verbosity(if o.quiet {
+        mlpa_obs::Verbosity::Quiet
+    } else if o.verbose {
+        mlpa_obs::Verbosity::Verbose
+    } else {
+        mlpa_obs::Verbosity::Normal
+    });
+    mlpa_obs::set_force_progress(o.progress);
+    if let Some(sink) = &o.obs {
+        let cfg = mlpa_obs::ObsConfig { enabled: true, sink: Some(sink.clone()) };
+        if let Err(e) = mlpa_obs::init(&cfg) {
+            elog!("error", "opening obs sink {}: {e}", sink.display());
+            std::process::exit(2);
+        }
+        if !mlpa_obs::is_enabled() {
+            elog!(
+                "obs",
+                "this binary was built without `--features obs`; \
+                 --obs will record nothing"
+            );
+        }
+    }
     if let Err(e) = run(&o) {
-        eprintln!("error: {e}");
+        elog!("error", "{e}");
         std::process::exit(1);
     }
 }
@@ -178,7 +222,7 @@ fn run(o: &Options) -> Result<(), String> {
             .get("lucas")
             .cloned()
             .ok_or("fig1 needs lucas in the suite (check --select)")?;
-        eprintln!("[fig1] computing phase curves for lucas...");
+        info!("fig1", "computing phase curves for lucas...");
         let data = fig1::fig1(&spec)?;
         let mut t = String::from("Figure 1: PC1 of BBV signatures, lucas\n");
         t.push_str("(a) fine-grained (10k) intervals:\n");
@@ -202,26 +246,29 @@ fn run(o: &Options) -> Result<(), String> {
             jobs: o.jobs,
             ..harness::Experiment::default()
         };
-        eprintln!(
-            "[suite] running {} benchmarks x 3 methods x 2 configs on {} worker(s)...",
+        info!(
+            "suite",
+            "running {} benchmarks x 3 methods x 2 configs on {} worker(s)...",
             exp.suite.len(),
             mlpa_core::effective_jobs(exp.jobs).min(exp.suite.len().max(1)),
         );
         let results = exp.run(|r| {
-            eprintln!(
-                "[suite]   {:>9}: {:>4.0}M insts, {:>5.1}s",
+            progress!(
+                "suite",
+                "  {:>9}: {:>4.0}M insts, {:>5.1}s",
                 r.name,
                 r.total_insts as f64 / 1e6,
                 r.elapsed
             );
         })?;
+        vlog!("suite", "all benchmarks complete; building reports");
 
         let mut models = vec![("paper-implied".to_owned(), CostModel::from_ratio(o.ratio))];
         if o.measured_ratio {
             let spec = exp.suite.iter().next().ok_or("empty suite")?;
             let cb = CompiledBenchmark::compile(spec)?;
             let m = CostModel::measure(&cb, &exp.configs[0], 2_000_000);
-            eprintln!("[suite] measured cost ratio r = {:.1}", m.ratio());
+            info!("suite", "measured cost ratio r = {:.1}", m.ratio());
             models.push(("measured".to_owned(), m));
         }
 
@@ -264,7 +311,18 @@ fn run(o: &Options) -> Result<(), String> {
     for (name, text) in &emitted {
         let path = o.out.join(name);
         fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        vlog!("done", "wrote {}", path.display());
     }
-    eprintln!("[done] wrote {} files to {}", emitted.len(), o.out.display());
+    info!("done", "wrote {} files to {}", emitted.len(), o.out.display());
+
+    // The run report aggregates everything the instrumentation saw:
+    // per-phase wall clock, per-worker utilization, counter totals.
+    if o.obs.is_some() && mlpa_obs::is_enabled() {
+        let path = o.out.join("RUN_REPORT.json");
+        fs::write(&path, mlpa_obs::report().to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        info!("obs", "wrote {}", path.display());
+        mlpa_obs::finish();
+    }
     Ok(())
 }

@@ -137,6 +137,7 @@ impl Experiment {
     /// Propagates compilation and selection errors (invalid spec, no
     /// cyclic structure).
     pub fn run_benchmark(&self, spec: &BenchmarkSpec) -> Result<BenchResult, String> {
+        let _span = mlpa_obs::span_labeled("bench.benchmark", &spec.name);
         let t0 = std::time::Instant::now();
         let cb = CompiledBenchmark::compile(spec)?;
 
@@ -202,11 +203,17 @@ impl Experiment {
     /// also aborts later benchmarks; in parallel, already-started ones
     /// finish but their results are discarded).
     pub fn run(&self, mut progress: impl FnMut(&BenchResult)) -> Result<Vec<BenchResult>, String> {
+        let _span = mlpa_obs::span("bench.suite");
         let workers = mlpa_core::effective_jobs(self.jobs).min(self.suite.len().max(1));
         if workers <= 1 {
+            // A single-worker guard so serial runs still report
+            // utilization.
+            let mut guard = mlpa_obs::worker("suite", 0);
             let mut out = Vec::with_capacity(self.suite.len());
             for spec in &self.suite {
-                let r = self.run_benchmark(spec).map_err(|e| format!("{}: {e}", spec.name))?;
+                let r = guard
+                    .busy(|| self.run_benchmark(spec))
+                    .map_err(|e| format!("{}: {e}", spec.name))?;
                 progress(&r);
                 out.push(r);
             }
@@ -216,62 +223,102 @@ impl Experiment {
         let specs: Vec<&BenchmarkSpec> = self.suite.iter().collect();
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
-        let (tx, rx) = mpsc::channel::<(usize, Result<BenchResult, String>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Outcome)>();
 
         std::thread::scope(|s| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let tx = tx.clone();
                 let (next, stop) = (&next, &stop);
                 let specs = &specs;
-                s.spawn(move || loop {
-                    // Claim benchmarks in suite order; stop claiming new
-                    // ones once any benchmark has failed. Claim order
-                    // guarantees the lowest-indexed failure is always
-                    // executed, so the reported error is deterministic.
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let r = self.run_benchmark(spec).map_err(|e| format!("{}: {e}", spec.name));
-                    if r.is_err() {
-                        stop.store(true, Ordering::Relaxed);
-                    }
-                    if tx.send((i, r)).is_err() {
-                        break;
+                s.spawn(move || {
+                    let mut guard = mlpa_obs::worker("suite", w);
+                    loop {
+                        // Claim benchmarks in suite order; stop claiming
+                        // new ones once any benchmark has failed. Claim
+                        // order guarantees the lowest-indexed failure is
+                        // always executed, so the reported error is
+                        // deterministic.
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        // A panicking benchmark must not be swallowed by
+                        // the scope join: capture the payload and report
+                        // it with the benchmark's name attached.
+                        let r = guard.busy(|| {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                self.run_benchmark(spec).map_err(|e| format!("{}: {e}", spec.name))
+                            }))
+                        });
+                        let r = match r {
+                            Ok(Ok(res)) => Outcome::Done(Box::new(res)),
+                            Ok(Err(e)) => Outcome::Error(e),
+                            Err(payload) => Outcome::Panic(format!(
+                                "suite benchmark {} panicked: {}",
+                                spec.name,
+                                mlpa_core::panic_message(&*payload)
+                            )),
+                        };
+                        if !matches!(r, Outcome::Done(_)) {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        if tx.send((i, r)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
             drop(tx);
 
-            let mut slots: Vec<Option<Result<BenchResult, String>>> =
-                (0..specs.len()).map(|_| None).collect();
+            let mut slots: Vec<Option<BenchResult>> = (0..specs.len()).map(|_| None).collect();
             let mut emitted = 0usize;
+            // Keep the lowest-indexed failure of each kind so the
+            // outcome is deterministic regardless of interleaving; a
+            // panic (a bug) outranks an error (a bad benchmark).
             let mut first_err: Option<(usize, String)> = None;
+            let mut first_panic: Option<(usize, String)> = None;
             for (i, r) in rx {
-                match &r {
-                    Err(e) if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) => {
-                        first_err = Some((i, e.clone()));
+                match r {
+                    Outcome::Done(res) => slots[i] = Some(*res),
+                    Outcome::Error(e) => {
+                        if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                            first_err = Some((i, e));
+                        }
                     }
-                    _ => {}
+                    Outcome::Panic(msg) => {
+                        if first_panic.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                            first_panic = Some((i, msg));
+                        }
+                    }
                 }
-                slots[i] = Some(r);
                 // Stream progress for the completed prefix, in order.
-                while let Some(Some(Ok(done))) = slots.get(emitted) {
+                while let Some(Some(done)) = slots.get(emitted) {
                     progress(done);
                     emitted += 1;
                 }
             }
 
+            if let Some((_, msg)) = first_panic {
+                panic!("{msg}");
+            }
             if let Some((_, e)) = first_err {
                 return Err(e);
             }
             slots
                 .into_iter()
-                .map(|r| r.expect("no failure, so every benchmark completed"))
+                .map(|r| r.ok_or_else(|| "worker pool dropped a benchmark".to_string()))
                 .collect()
         })
     }
+}
+
+/// Channel payload of the parallel suite pool: a finished benchmark, a
+/// benchmark error, or a captured worker panic.
+enum Outcome {
+    Done(Box<BenchResult>),
+    Error(String),
+    Panic(String),
 }
 
 /// Index of a method in [`BenchResult::methods`].
@@ -390,5 +437,20 @@ mod tests {
         let parallel_err = exp.run(|_| {}).unwrap_err();
         assert_eq!(serial_err, parallel_err);
         assert!(parallel_err.starts_with("bad:"), "{parallel_err}");
+    }
+
+    /// Regression: a worker thread panicking mid-benchmark used to
+    /// resurface only at the scope join, with the raw payload and no
+    /// indication of which benchmark died. The pool must capture it and
+    /// re-panic with the benchmark's name attached.
+    #[test]
+    #[should_panic(expected = "suite benchmark eon panicked")]
+    fn parallel_run_propagates_worker_panics_with_benchmark_name() {
+        let mut exp = tiny();
+        exp.jobs = 2;
+        // Width 0 passes compilation/selection but makes DetailedSim
+        // panic inside the worker ("invalid machine config").
+        exp.configs[0].width = 0;
+        let _ = exp.run(|_| {});
     }
 }

@@ -2,37 +2,50 @@
 //! accuracy against ground truth, and modelled speedup.
 //!
 //! ```text
-//! cargo run --release -p mlpa-core --example compare_methods [bench...]
+//! cargo run --release -p mlpa-core --example compare_methods \
+//!     [--quiet|--verbose] [bench...]
 //! ```
+//!
+//! Tables go to stdout; progress goes to stderr through the `mlpa-obs`
+//! logger (`--quiet` silences it, `--verbose` adds per-step detail).
 
 use mlpa_core::prelude::*;
+use mlpa_obs::{info, vlog};
 use mlpa_sim::MachineConfig;
 use mlpa_workloads::{suite, CompiledBenchmark};
 
 fn main() -> Result<(), String> {
-    let names: Vec<String> = {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        if args.is_empty() {
-            vec!["gzip".into(), "lucas".into(), "gcc".into()]
-        } else {
-            args
+    let mut names: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quiet" => mlpa_obs::set_verbosity(mlpa_obs::Verbosity::Quiet),
+            "--verbose" => mlpa_obs::set_verbosity(mlpa_obs::Verbosity::Verbose),
+            other if !other.starts_with('-') => names.push(other.to_owned()),
+            other => return Err(format!("unknown option {other}")),
         }
-    };
+    }
+    if names.is_empty() {
+        names = vec!["gzip".into(), "lucas".into(), "gcc".into()];
+    }
     let cfg = MachineConfig::table1_base();
     let model = CostModel::paper_implied();
     for name in &names {
         let spec = suite::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+        info!("compare", "running {name}...");
         let cb = CompiledBenchmark::compile(&spec)?;
         let t0 = std::time::Instant::now();
         let truth = ground_truth(&cb, &cfg).estimate();
+        vlog!("compare", "{name}: ground truth done in {:.1}s", t0.elapsed().as_secs_f64());
         let fine = simpoint_baseline(
             &cb,
             FINE_INTERVAL,
             &SimPointConfig::fine_10m(),
             &ProjectionSettings::default(),
         )?;
+        vlog!("compare", "{name}: fine baseline selected {} points", fine.plan.len());
         let co = coasts(&cb, &CoastsConfig::default())?;
         let ml = multilevel(&cb, &MultilevelConfig::default())?;
+        vlog!("compare", "{name}: COASTS {} pts, multi-level {} pts", co.plan.len(), ml.plan.len());
         println!(
             "=== {name} ({:.0}M inst; {:.0}s) truth CPI {:.3}",
             fine.plan.total_insts() as f64 / 1e6,

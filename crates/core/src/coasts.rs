@@ -102,6 +102,7 @@ pub fn coasts_with(
     ctx: &mut ProfilingContext<'_>,
     cfg: &CoastsConfig,
 ) -> Result<CoastsOutcome, String> {
+    let _span = mlpa_obs::span("core.select.coasts");
     let cb = ctx.benchmark();
     // Pass 1: boundary information.
     let profile = ctx.loop_profile().clone();
@@ -122,6 +123,7 @@ pub fn coasts_with(
         return Err(format!("benchmark {} produced an empty trace", cb.spec().name));
     }
 
+    mlpa_obs::add("core.profile.coarse_intervals", intervals.len() as u64);
     let body = classification_body(intervals, has_prologue);
     // `select` copies the signatures into contiguous row-major storage
     // and clusters with the pruned k-means (see DESIGN.md, "Kernel

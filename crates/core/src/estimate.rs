@@ -127,13 +127,20 @@ pub fn execute_plan_jobs(
     mode: WarmupMode,
     jobs: usize,
 ) -> ExecutionOutcome {
+    let _span = mlpa_obs::span("core.plan.execute");
     let workers = effective_jobs(jobs).min(plan.len());
     let raw = if workers <= 1 {
         execute_points_serial(cb, config, plan, mode)
     } else {
         execute_points_parallel(cb, config, plan, mode, workers)
     };
-    combine(plan, raw)
+    let out = combine(plan, raw);
+    if mlpa_obs::is_enabled() {
+        mlpa_obs::add("core.plan.points", plan.len() as u64);
+        mlpa_obs::add("core.plan.functional_insts", out.cost.functional_insts);
+        mlpa_obs::add("core.plan.detailed_insts", out.cost.detailed_insts);
+    }
+    out
 }
 
 /// Resolve a `jobs` request: `0` means all available cores.
@@ -159,51 +166,61 @@ fn execute_points_serial(
     let mut func = FunctionalSim::new(cb.program());
     let mut runs = Vec::with_capacity(plan.len());
     let mut pos = 0u64;
+    // A single-worker guard so serial runs still report utilization.
+    let mut worker = mlpa_obs::worker("plan", 0);
 
     // Warm mode keeps one continuously-warmed state for the whole
     // traversal; each point receives a snapshot of it.
     let mut warm = matches!(mode, WarmupMode::Warmed)
         .then(|| (MemoryHierarchy::new(config), BranchUnit::new(&config.predictor)));
 
-    for p in plan.points() {
-        let skip = p.start.saturating_sub(pos);
-        pos += match &mut warm {
-            Some((hier, bu)) => {
-                func.fast_forward(&mut stream, skip, &mut (), Warming::Warm, Some((hier, bu)))
-            }
-            None => func.fast_forward(&mut stream, skip, &mut (), Warming::None, None),
-        };
-        let start_pos = pos;
+    for (i, p) in plan.points().iter().enumerate() {
+        let _span = mlpa_obs::span_labeled("core.plan.point", &format!("point {i}"));
+        let run = worker.busy(|| {
+            let skip = p.start.saturating_sub(pos);
+            pos += match &mut warm {
+                Some((hier, bu)) => {
+                    func.fast_forward(&mut stream, skip, &mut (), Warming::Warm, Some((hier, bu)))
+                }
+                None => func.fast_forward(&mut stream, skip, &mut (), Warming::None, None),
+            };
+            let start_pos = pos;
 
-        let metrics = match &mut warm {
-            Some((hier, bu)) => {
-                // The detailed simulator runs on a fork of the stream
-                // with a snapshot of the warm state, while the primary
-                // stream warms functionally *through* the point region —
-                // so the next point's prefix state is a pure functional
-                // warm of [0, start), exactly what a parallel worker
-                // reconstructs.
-                let mut fork = stream.clone();
-                let mut sim =
-                    DetailedSim::with_warm_state(*config, cb.program(), hier.clone(), bu.clone());
-                let m = sim.simulate(&mut fork, p.len);
-                let advanced = func.fast_forward(
-                    &mut stream,
-                    m.instructions,
-                    &mut (),
-                    Warming::Warm,
-                    Some((hier, bu)),
-                );
-                debug_assert_eq!(advanced, m.instructions, "fork and primary stream diverged");
-                m
-            }
-            None => {
-                let mut sim = DetailedSim::new(*config, cb.program());
-                sim.simulate(&mut stream, p.len)
-            }
-        };
-        pos += metrics.instructions;
-        runs.push((start_pos, metrics));
+            let metrics = match &mut warm {
+                Some((hier, bu)) => {
+                    // The detailed simulator runs on a fork of the stream
+                    // with a snapshot of the warm state, while the primary
+                    // stream warms functionally *through* the point region —
+                    // so the next point's prefix state is a pure functional
+                    // warm of [0, start), exactly what a parallel worker
+                    // reconstructs.
+                    let mut fork = stream.clone();
+                    let mut sim = DetailedSim::with_warm_state(
+                        *config,
+                        cb.program(),
+                        hier.clone(),
+                        bu.clone(),
+                    );
+                    let m = sim.simulate(&mut fork, p.len);
+                    let advanced = func.fast_forward(
+                        &mut stream,
+                        m.instructions,
+                        &mut (),
+                        Warming::Warm,
+                        Some((hier, bu)),
+                    );
+                    debug_assert_eq!(advanced, m.instructions, "fork and primary stream diverged");
+                    m
+                }
+                None => {
+                    let mut sim = DetailedSim::new(*config, cb.program());
+                    sim.simulate(&mut stream, p.len)
+                }
+            };
+            pos += metrics.instructions;
+            (start_pos, metrics)
+        });
+        runs.push(run);
     }
     runs
 }
@@ -217,20 +234,43 @@ fn execute_points_parallel(
 ) -> Vec<PointRun> {
     let points = plan.points();
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, PointRun)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<PointRun, String>)>();
 
     std::thread::scope(|s| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
             s.spawn(move || {
+                let mut guard = mlpa_obs::worker("plan", w);
                 // Claim points dynamically: early points have short
                 // prefixes, late points long ones, so static chunking
                 // would load-imbalance badly.
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(p) = points.get(i) else { break };
-                    let run = simulate_point_standalone(cb, config, p.start, p.len, mode);
+                    let span = mlpa_obs::span_labeled("core.plan.point", &format!("point {i}"));
+                    let span_id = span.id();
+                    // A panicking job must not be swallowed into the
+                    // joined results: capture the payload and report it
+                    // with the job's identity attached.
+                    let run = guard.busy(|| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            simulate_point_standalone(cb, config, p.start, p.len, mode)
+                        }))
+                    });
+                    drop(span);
+                    let run = run.map_err(|payload| {
+                        // `&*payload`, not `&payload`: a `Box<dyn Any>`
+                        // is itself `Any`, so the un-derefed reference
+                        // would downcast against the box, never the
+                        // payload inside it.
+                        let msg = panic_message(&*payload);
+                        if span_id != 0 {
+                            format!("{msg} [obs span {span_id}]")
+                        } else {
+                            msg
+                        }
+                    });
                     if tx.send((i, run)).is_err() {
                         break;
                     }
@@ -240,11 +280,41 @@ fn execute_points_parallel(
         drop(tx);
 
         let mut runs: Vec<Option<PointRun>> = vec![None; points.len()];
+        let mut failure: Option<(usize, String)> = None;
         for (i, run) in rx {
-            runs[i] = Some(run);
+            match run {
+                Ok(r) => runs[i] = Some(r),
+                // Report the lowest-index failure so the error is
+                // deterministic regardless of worker interleaving.
+                Err(msg) => {
+                    if failure.as_ref().is_none_or(|(j, _)| i < *j) {
+                        failure = Some((i, msg));
+                    }
+                }
+            }
+        }
+        if let Some((i, msg)) = failure {
+            let p = &points[i];
+            panic!("plan point {i} (start={}, len={}) panicked: {msg}", p.start, p.len);
         }
         runs.into_iter().map(|r| r.expect("worker pool completed every claimed point")).collect()
     })
+}
+
+/// Render a `catch_unwind` payload (the common `&str`/`String` cases).
+///
+/// Shared by every worker pool that must attach a job label to a
+/// propagated panic (plan execution here, the experiment suite in
+/// `mlpa-bench`). Pass `&*payload`, not `&payload`: a `Box<dyn Any>` is
+/// itself `Any`.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Simulate one plan point from a cold start of the trace: fast-forward
@@ -461,5 +531,35 @@ mod tests {
     fn effective_jobs_resolves_zero_to_cores() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(3), 3);
+    }
+
+    /// Regression: worker panics used to be swallowed into the joined
+    /// results (the collector just hit its `expect` on a `None` slot,
+    /// losing the payload). They must surface with the failing point's
+    /// label and the original message attached.
+    #[test]
+    #[should_panic(expected = "plan point 0")]
+    fn worker_panics_propagate_with_point_label() {
+        let cb = cb();
+        let plan = plan_of(&cb, &[(0.1, 0.03, 0.5), (0.5, 0.03, 0.5)]);
+        let mut bad = MachineConfig::table1_base();
+        bad.width = 0; // DetailedSim::new panics: "invalid machine config"
+        let _ = execute_plan_jobs(&cb, &bad, &plan, WarmupMode::Cold, 2);
+    }
+
+    /// The propagated message keeps the worker's original panic text.
+    #[test]
+    fn worker_panic_message_includes_payload() {
+        let cb = cb();
+        let plan = plan_of(&cb, &[(0.1, 0.03, 0.5), (0.5, 0.03, 0.5)]);
+        let mut bad = MachineConfig::table1_base();
+        bad.width = 0;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_plan_jobs(&cb, &bad, &plan, WarmupMode::Cold, 2)
+        }))
+        .expect_err("invalid config must panic");
+        let msg = panic_message(&*err);
+        assert!(msg.contains("plan point 0"), "missing point label: {msg}");
+        assert!(msg.contains("invalid machine config"), "missing payload: {msg}");
     }
 }

@@ -47,8 +47,8 @@ pub mod timing;
 
 pub use coasts::{coasts, coasts_with, CoastsConfig, CoastsOutcome};
 pub use estimate::{
-    effective_jobs, execute_plan, execute_plan_jobs, ground_truth, ExecutionCost, ExecutionOutcome,
-    WarmupMode,
+    effective_jobs, execute_plan, execute_plan_jobs, ground_truth, panic_message, ExecutionCost,
+    ExecutionOutcome, WarmupMode,
 };
 pub use multilevel::{multilevel, multilevel_with, MultilevelConfig, MultilevelOutcome};
 pub use pipeline::{

@@ -108,6 +108,7 @@ pub fn multilevel_with(
     cfg: &MultilevelConfig,
 ) -> Result<MultilevelOutcome, String> {
     let first = coasts_with(ctx, &cfg.coasts)?;
+    let _span = mlpa_obs::span("core.select.multilevel");
     let cb = ctx.benchmark();
     let projection = ctx.projection();
 
@@ -160,6 +161,7 @@ pub fn multilevel_with(
         }
         resampled.push(ResampledPoint { coarse_start: cp.start, coarse_len: cp.len, fine });
     }
+    mlpa_obs::add("core.select.resampled_points", resampled.len() as u64);
 
     points.sort_by_key(|p| p.start);
     let plan = SimulationPlan::new(points, first.plan.total_insts())?;

@@ -129,6 +129,8 @@ impl<'b> ProfilingContext<'b> {
         if self.loop_profile.is_some() && self.fine_intervals.is_some() {
             return;
         }
+        let _span = mlpa_obs::span("core.profile.base_pass");
+        mlpa_obs::add("core.profile.base_passes", 1);
         let mut monitor = LoopMonitor::new(self.cb.program());
         // The profiler accumulates in the projected space (O(dim) state
         // and O(dim) per flush, independent of num_blocks), so carrying
@@ -143,6 +145,8 @@ impl<'b> ProfilingContext<'b> {
     /// The loop (cyclic-structure) profile of the trace.
     pub fn loop_profile(&mut self) -> &LoopProfile {
         if self.loop_profile.is_none() {
+            let _span = mlpa_obs::span("core.profile.loop_pass");
+            mlpa_obs::add("core.profile.loop_passes", 1);
             let mut monitor = LoopMonitor::new(self.cb.program());
             FunctionalSim::new(self.cb.program()).run(WorkloadStream::new(self.cb), &mut monitor);
             self.loop_profile = Some(monitor.finish());
@@ -165,6 +169,8 @@ impl<'b> ProfilingContext<'b> {
     pub fn boundary_intervals(&mut self, header: mlpa_isa::BlockId) -> (&[Interval], bool) {
         let stale = self.boundary.as_ref().is_none_or(|b| b.header != header);
         if stale {
+            let _span = mlpa_obs::span("core.profile.boundary_pass");
+            mlpa_obs::add("core.profile.boundary_passes", 1);
             let mut prof = BoundaryProfiler::new(&self.projection, header);
             FunctionalSim::new(self.cb.program()).run(WorkloadStream::new(self.cb), &mut prof);
             let has_prologue = prof.has_prologue();
@@ -260,11 +266,13 @@ pub fn simpoint_baseline_with(
     ctx: &mut ProfilingContext<'_>,
     cfg: &SimPointConfig,
 ) -> Result<FineOutcome, String> {
+    let _span = mlpa_obs::span("core.select.fine");
     let interval_len = ctx.fine_interval;
     let intervals = ctx.fine_intervals();
     if intervals.is_empty() {
         return Err(format!("benchmark {} produced an empty trace", ctx.cb.spec().name));
     }
+    mlpa_obs::add("core.profile.fine_intervals", intervals.len() as u64);
     let simpoints = select(intervals, cfg);
     let plan = plan_from_points(&simpoints)?;
     Ok(FineOutcome { plan, simpoints, interval_len })

@@ -1,0 +1,248 @@
+//! Schema checker for obs output, used by the CI obs-smoke job.
+//!
+//! Validates (with no external tools) that:
+//!
+//! * a JSONL event stream holds exactly one well-formed JSON object per
+//!   line, each with a known `ev` tag and that tag's required fields;
+//! * a `RUN_REPORT.json` matches the `mlpa-run-report-v1` schema and
+//!   reports the counters the acceptance criteria name (k-means
+//!   iterations, cache hits/misses per level, instructions simulated).
+//!
+//! Usage: `obs-check --events <events.jsonl> --report <RUN_REPORT.json>`
+//! (either argument may be given alone). Exits non-zero with a
+//! line-numbered message on the first violation.
+
+use mlpa_obs::json::{self, Value};
+use std::process::ExitCode;
+
+/// Counters a complete instrumented run must have recorded.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "phase.kmeans.iterations",
+    "sim.instructions",
+    "sim.l1d.hits",
+    "sim.l1d.misses",
+    "sim.l2.hits",
+    "sim.l2.misses",
+];
+
+fn main() -> ExitCode {
+    let mut events: Option<String> = None;
+    let mut report: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--events" => events = args.next(),
+            "--report" => report = args.next(),
+            other => {
+                eprintln!("obs-check: unknown argument `{other}`");
+                eprintln!("usage: obs-check [--events <file.jsonl>] [--report <RUN_REPORT.json>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if events.is_none() && report.is_none() {
+        eprintln!("obs-check: nothing to do (pass --events and/or --report)");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = events {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| check_events(&s))
+        {
+            Ok(n) => println!("obs-check: {path}: {n} events OK"),
+            Err(e) => {
+                eprintln!("obs-check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = report {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| check_report(&s))
+        {
+            Ok(()) => println!("obs-check: {path}: report OK"),
+            Err(e) => {
+                eprintln!("obs-check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+fn num_field(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?.as_f64().ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+/// Validate a JSONL event stream; returns the number of events.
+fn check_events(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    let mut saw_start = false;
+    let mut saw_end = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: blank line in JSONL stream"));
+        }
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if v.as_obj().is_none() {
+            return Err(format!("line {lineno}: not a JSON object"));
+        }
+        let ev = str_field(&v, "ev").map_err(|e| format!("line {lineno}: {e}"))?;
+        let check = match ev.as_str() {
+            "run_start" => {
+                saw_start = true;
+                num_field(&v, "t_us").map(drop)
+            }
+            "run_end" => {
+                saw_end = true;
+                num_field(&v, "t_us").map(drop)
+            }
+            "span" => ["id", "t_us", "dur_us"]
+                .iter()
+                .try_for_each(|k| num_field(&v, k).map(drop))
+                .and_then(|()| str_field(&v, "name").map(drop))
+                .and_then(|()| match field(&v, "parent")? {
+                    Value::Null | Value::Num(_) => Ok(()),
+                    _ => Err("field `parent` is not a number or null".into()),
+                }),
+            "worker" => ["index", "busy_us", "wall_us", "jobs"]
+                .iter()
+                .try_for_each(|k| num_field(&v, k).map(drop))
+                .and_then(|()| str_field(&v, "pool").map(drop)),
+            "log" => ["level", "target", "msg"]
+                .iter()
+                .try_for_each(|k| str_field(&v, k).map(drop))
+                .and_then(|()| num_field(&v, "t_us").map(drop)),
+            other => Err(format!("unknown event kind `{other}`")),
+        };
+        check.map_err(|e| format!("line {lineno}: {e}"))?;
+        count += 1;
+    }
+    if count == 0 {
+        return Err("empty event stream".into());
+    }
+    if !saw_start {
+        return Err("no run_start event".into());
+    }
+    if !saw_end {
+        return Err("no run_end event".into());
+    }
+    Ok(count)
+}
+
+/// Validate a `RUN_REPORT.json` document.
+fn check_report(text: &str) -> Result<(), String> {
+    let v = json::parse(text)?;
+    let schema = str_field(&v, "schema")?;
+    if schema != mlpa_obs::RUN_REPORT_SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{}`", mlpa_obs::RUN_REPORT_SCHEMA));
+    }
+    let wall_s = num_field(&v, "wall_s")?;
+    if wall_s <= 0.0 {
+        return Err(format!("wall_s is {wall_s}, expected > 0"));
+    }
+
+    let phases = field(&v, "phases")?.as_arr().ok_or("field `phases` is not an array")?;
+    if phases.is_empty() {
+        return Err("no phases recorded".into());
+    }
+    for (i, p) in phases.iter().enumerate() {
+        str_field(p, "name").map_err(|e| format!("phases[{i}]: {e}"))?;
+        for k in ["count", "total_s"] {
+            num_field(p, k).map_err(|e| format!("phases[{i}]: {e}"))?;
+        }
+    }
+
+    let workers = field(&v, "workers")?.as_arr().ok_or("field `workers` is not an array")?;
+    if workers.is_empty() {
+        return Err("no workers recorded".into());
+    }
+    for (i, w) in workers.iter().enumerate() {
+        str_field(w, "pool").map_err(|e| format!("workers[{i}]: {e}"))?;
+        for k in ["index", "busy_s", "wall_s", "jobs", "busy_fraction"] {
+            num_field(w, k).map_err(|e| format!("workers[{i}]: {e}"))?;
+        }
+        let frac = num_field(w, "busy_fraction").expect("checked");
+        if !(0.0..=1.0 + 1e-6).contains(&frac) {
+            return Err(format!("workers[{i}]: busy_fraction {frac} out of [0, 1]"));
+        }
+    }
+
+    let counters = field(&v, "counters")?.as_arr().ok_or("field `counters` is not an array")?;
+    let mut names = Vec::new();
+    for (i, c) in counters.iter().enumerate() {
+        names.push(str_field(c, "name").map_err(|e| format!("counters[{i}]: {e}"))?);
+        num_field(c, "value").map_err(|e| format!("counters[{i}]: {e}"))?;
+    }
+    for required in REQUIRED_COUNTERS {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("missing required counter `{required}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_event_lines() {
+        assert!(check_events("").is_err());
+        assert!(check_events("{\"ev\":\"run_start\",\"t_us\":0}\nnot json\n").is_err());
+        assert!(check_events("{\"ev\":\"mystery\"}\n").is_err());
+        // Missing run_end.
+        assert!(check_events("{\"ev\":\"run_start\",\"t_us\":0}\n").is_err());
+    }
+
+    #[test]
+    fn accepts_a_complete_stream() {
+        let stream = concat!(
+            "{\"ev\":\"run_start\",\"t_us\":0}\n",
+            "{\"ev\":\"span\",\"name\":\"a\",\"id\":1,\"parent\":null,\"t_us\":1,\"dur_us\":5}\n",
+            "{\"ev\":\"log\",\"t_us\":2,\"level\":\"info\",\"target\":\"t\",\"msg\":\"m\"}\n",
+            "{\"ev\":\"worker\",\"pool\":\"p\",\"index\":0,\"busy_us\":3,\"wall_us\":4,\"jobs\":1}\n",
+            "{\"ev\":\"run_end\",\"t_us\":9}\n",
+        );
+        assert_eq!(check_events(stream).unwrap(), 5);
+    }
+
+    #[test]
+    fn report_schema_is_enforced() {
+        let mut report = mlpa_obs::Report {
+            wall_s: 1.0,
+            phases: vec![mlpa_obs::PhaseStat {
+                name: "core.profile".into(),
+                count: 2,
+                total_s: 0.5,
+            }],
+            workers: vec![mlpa_obs::WorkerStat {
+                pool: "plan".into(),
+                index: 0,
+                busy_s: 0.4,
+                wall_s: 0.5,
+                jobs: 3,
+                busy_fraction: 0.8,
+            }],
+            counters: REQUIRED_COUNTERS.iter().map(|n| (n.to_string(), 1)).collect(),
+        };
+        assert!(check_report(&report.to_json()).is_ok());
+        report.counters.remove(0);
+        let err = check_report(&report.to_json()).unwrap_err();
+        assert!(err.contains("phase.kmeans.iterations"), "{err}");
+    }
+}

@@ -1,0 +1,683 @@
+//! Zero-cost observability for the mlpa workspace.
+//!
+//! Three instruments, one switch:
+//!
+//! * **Spans** — hierarchical wall-clock timings ([`span`],
+//!   [`span_labeled`]). Parent/child links follow the per-thread span
+//!   stack, so nesting works across `std::thread::scope` workers.
+//! * **Counters** — named monotonic totals ([`add`]) backed by leaked
+//!   `AtomicU64`s; hot loops should accumulate locally and flush once
+//!   per call.
+//! * **Workers** — per-worker utilization guards ([`worker`]) used by
+//!   the plan-execution and experiment-suite thread pools.
+//!
+//! Everything above is compiled to an inline no-op unless the crate
+//! feature `enabled` is on; with the feature on it is still inert (one
+//! relaxed atomic load per call site) until [`init`] or [`set_enabled`]
+//! flips the runtime switch. Instrumentation never touches RNG state or
+//! work ordering, so enabling it cannot perturb deterministic results.
+//!
+//! Events stream to an optional JSONL sink (one JSON object per line,
+//! flushed per line); [`report`] aggregates everything into a
+//! [`Report`] for `results/RUN_REPORT.json`. Logging ([`info!`],
+//! [`vlog!`], [`elog!`], [`progress!`]) is *always* compiled — it
+//! replaces the ad-hoc `eprintln!` progress output and is controlled by
+//! [`Verbosity`], not by the feature flag.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+// ---------------------------------------------------------------------------
+// Logging (always compiled; gated by runtime verbosity only)
+// ---------------------------------------------------------------------------
+
+/// How much progress output goes to stderr.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Verbosity {
+    /// Errors only (`--quiet`).
+    Quiet = 0,
+    /// Default progress output.
+    Normal = 1,
+    /// Extra detail (`--verbose`).
+    Verbose = 2,
+}
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(Verbosity::Normal as u8);
+static FORCE_PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Set the global verbosity (from `--quiet` / `--verbose`).
+pub fn set_verbosity(v: Verbosity) {
+    VERBOSITY.store(v as u8, Ordering::Relaxed);
+}
+
+/// The current global verbosity.
+pub fn verbosity() -> Verbosity {
+    match VERBOSITY.load(Ordering::Relaxed) {
+        0 => Verbosity::Quiet,
+        2 => Verbosity::Verbose,
+        _ => Verbosity::Normal,
+    }
+}
+
+/// Force progress lines through even under `--quiet` (from
+/// `--progress`).
+pub fn set_force_progress(on: bool) {
+    FORCE_PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Whether progress lines should currently be printed.
+pub fn progress_active() -> bool {
+    FORCE_PROGRESS.load(Ordering::Relaxed) || verbosity() >= Verbosity::Normal
+}
+
+/// Print `[target] message` to stderr if `level` passes the current
+/// verbosity (a `Quiet` level always prints — use it for errors), and
+/// mirror the line to the JSONL sink when one is active.
+pub fn log(level: Verbosity, target: &str, args: fmt::Arguments<'_>) {
+    if level == Verbosity::Quiet || verbosity() >= level {
+        eprintln!("[{target}] {args}");
+    }
+    imp::sink_log(level, target, args);
+}
+
+/// Print a progress line; honours [`set_force_progress`] so `--progress`
+/// overrides `--quiet`.
+pub fn progress(target: &str, args: fmt::Arguments<'_>) {
+    if progress_active() {
+        eprintln!("[{target}] {args}");
+    }
+    imp::sink_log(Verbosity::Normal, target, args);
+}
+
+/// Log at [`Verbosity::Normal`]: `info!("suite", "ran {n} benchmarks")`.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Verbosity::Normal, $target, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Verbosity::Verbose`] (only shown with `--verbose`).
+#[macro_export]
+macro_rules! vlog {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Verbosity::Verbose, $target, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log unconditionally (errors; not silenced by `--quiet`).
+#[macro_export]
+macro_rules! elog {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Verbosity::Quiet, $target, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Emit a progress line (shown unless `--quiet`, or always with
+/// `--progress`).
+#[macro_export]
+macro_rules! progress {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::progress($target, ::core::format_args!($($arg)*))
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and run report (always compiled)
+// ---------------------------------------------------------------------------
+
+/// Runtime configuration consumed by [`init`].
+#[derive(Debug, Default, Clone)]
+pub struct ObsConfig {
+    /// Flip the runtime collection switch on.
+    pub enabled: bool,
+    /// Stream JSONL events to this file.
+    pub sink: Option<std::path::PathBuf>,
+}
+
+/// Schema identifier written into `RUN_REPORT.json`.
+pub const RUN_REPORT_SCHEMA: &str = "mlpa-run-report-v1";
+
+/// Aggregated per-span-name wall-clock totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Span name (e.g. `core.select.coasts`).
+    pub name: String,
+    /// Number of times the span was opened.
+    pub count: u64,
+    /// Total wall-clock seconds across all openings.
+    pub total_s: f64,
+}
+
+/// Utilization of one worker thread over its lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStat {
+    /// Pool label (e.g. `plan`, `suite`).
+    pub pool: String,
+    /// Worker index within the pool.
+    pub index: usize,
+    /// Seconds spent inside [`Worker::busy`] closures.
+    pub busy_s: f64,
+    /// Seconds from guard creation to drop.
+    pub wall_s: f64,
+    /// Number of jobs executed.
+    pub jobs: u64,
+    /// `busy_s / wall_s` (0 for a zero-length lifetime).
+    pub busy_fraction: f64,
+}
+
+/// Snapshot of everything collected so far; serialized to
+/// `results/RUN_REPORT.json`.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Wall-clock seconds since [`init`] (or the first instrument call).
+    pub wall_s: f64,
+    /// Per-span-name totals, sorted by name.
+    pub phases: Vec<PhaseStat>,
+    /// One row per worker guard, in completion order.
+    pub workers: Vec<WorkerStat>,
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Report {
+    /// Serialize to the `mlpa-run-report-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{RUN_REPORT_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall_s));
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            let sep = if i + 1 < self.phases.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"count\": {}, \"total_s\": {:.6}}}{sep}\n",
+                json::escape(&p.name),
+                p.count,
+                p.total_s
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"workers\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            let sep = if i + 1 < self.workers.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"pool\": \"{}\", \"index\": {}, \"busy_s\": {:.6}, \
+                 \"wall_s\": {:.6}, \"jobs\": {}, \"busy_fraction\": {:.4}}}{sep}\n",
+                json::escape(&w.pool),
+                w.index,
+                w.busy_s,
+                w.wall_s,
+                w.jobs,
+                w.busy_fraction
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"counters\": [\n");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if i + 1 < self.counters.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {value}}}{sep}\n",
+                json::escape(name)
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live implementation (feature `enabled`)
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{ObsConfig, PhaseStat, Report, Verbosity, WorkerStat};
+    use crate::json;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::fmt;
+    use std::fs::File;
+    use std::io::{self, BufWriter, Write};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock, RwLock};
+    use std::time::Instant;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(0);
+    static SPAN_TOTALS: Mutex<BTreeMap<&'static str, (u64, u128)>> = Mutex::new(BTreeMap::new());
+    static COUNTERS: RwLock<BTreeMap<&'static str, &'static AtomicU64>> =
+        RwLock::new(BTreeMap::new());
+    static WORKERS: Mutex<Vec<WorkerStat>> = Mutex::new(Vec::new());
+    static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+    thread_local! {
+        static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn epoch() -> Instant {
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    fn t_us() -> u128 {
+        epoch().elapsed().as_micros()
+    }
+
+    /// One JSON object per line; flushed per line so a crash (or a
+    /// concurrent reader) never sees a partial record.
+    fn emit(line: &str) {
+        let mut sink = SINK.lock().expect("obs sink poisoned");
+        if let Some(w) = sink.as_mut() {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+
+    /// Install the runtime configuration: pin the epoch, open the JSONL
+    /// sink (if any), and flip the collection switch.
+    pub fn init(cfg: &ObsConfig) -> io::Result<()> {
+        let _ = epoch();
+        if let Some(path) = &cfg.sink {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            let file = File::create(path)?;
+            *SINK.lock().expect("obs sink poisoned") = Some(BufWriter::new(file));
+        }
+        ENABLED.store(cfg.enabled, Ordering::Release);
+        emit(&format!("{{\"ev\":\"run_start\",\"t_us\":{}}}", t_us()));
+        Ok(())
+    }
+
+    /// Flip the runtime collection switch.
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Release);
+    }
+
+    /// Whether collection is active (one relaxed load — this is the
+    /// entire cost of an instrument call while disabled at runtime).
+    #[inline]
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Add `delta` to the named counter. Registers the counter on first
+    /// use; hot loops should batch locally and call this once per outer
+    /// call.
+    pub fn add(name: &'static str, delta: u64) {
+        if !is_enabled() {
+            return;
+        }
+        if let Some(c) = COUNTERS.read().expect("obs counters poisoned").get(name) {
+            c.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        let mut map = COUNTERS.write().expect("obs counters poisoned");
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of a named counter (0 if never touched).
+    pub fn counter_value(name: &str) -> u64 {
+        COUNTERS
+            .read()
+            .expect("obs counters poisoned")
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// All counters and their totals, sorted by name.
+    pub fn counters_snapshot() -> Vec<(String, u64)> {
+        COUNTERS
+            .read()
+            .expect("obs counters poisoned")
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// RAII timing guard returned by [`span`] / [`span_labeled`].
+    #[must_use]
+    pub struct Span {
+        inner: Option<SpanInner>,
+    }
+
+    struct SpanInner {
+        name: &'static str,
+        label: Option<String>,
+        id: u64,
+        parent: Option<u64>,
+        start: u128,
+        begin: Instant,
+    }
+
+    impl Span {
+        /// The span's globally unique id (0 when collection is off).
+        pub fn id(&self) -> u64 {
+            self.inner.as_ref().map_or(0, |i| i.id)
+        }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            let Some(inner) = self.inner.take() else { return };
+            let dur = inner.begin.elapsed();
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if stack.last() == Some(&inner.id) {
+                    stack.pop();
+                }
+            });
+            {
+                let mut totals = SPAN_TOTALS.lock().expect("obs spans poisoned");
+                let entry = totals.entry(inner.name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += dur.as_nanos();
+            }
+            let label = inner
+                .label
+                .as_deref()
+                .map(|l| format!(",\"label\":\"{}\"", json::escape(l)))
+                .unwrap_or_default();
+            let parent = inner.parent.map(|p| p.to_string()).unwrap_or_else(|| "null".into());
+            emit(&format!(
+                "{{\"ev\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\
+                 \"t_us\":{},\"dur_us\":{}{}}}",
+                json::escape(inner.name),
+                inner.id,
+                parent,
+                inner.start,
+                dur.as_micros(),
+                label,
+            ));
+        }
+    }
+
+    fn open_span(name: &'static str, label: Option<String>) -> Span {
+        if !is_enabled() {
+            return Span { inner: None };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed) + 1;
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        Span {
+            inner: Some(SpanInner {
+                name,
+                label,
+                id,
+                parent,
+                start: t_us(),
+                begin: Instant::now(),
+            }),
+        }
+    }
+
+    /// Open a named timing span; closes (and records) on drop.
+    pub fn span(name: &'static str) -> Span {
+        open_span(name, None)
+    }
+
+    /// Open a span with a dynamic label (e.g. a benchmark name); totals
+    /// aggregate under the static `name`, the label goes to the sink.
+    pub fn span_labeled(name: &'static str, label: &str) -> Span {
+        if !is_enabled() {
+            return Span { inner: None };
+        }
+        open_span(name, Some(label.to_string()))
+    }
+
+    /// Per-worker utilization guard returned by [`worker`].
+    #[must_use]
+    pub struct Worker {
+        inner: Option<WorkerInner>,
+    }
+
+    struct WorkerInner {
+        pool: &'static str,
+        index: usize,
+        created: Instant,
+        busy_ns: u128,
+        jobs: u64,
+    }
+
+    impl Worker {
+        /// Run one job under this worker, timing it as busy work.
+        pub fn busy<R>(&mut self, f: impl FnOnce() -> R) -> R {
+            match &mut self.inner {
+                None => f(),
+                Some(w) => {
+                    let begin = Instant::now();
+                    let r = f();
+                    w.busy_ns += begin.elapsed().as_nanos();
+                    w.jobs += 1;
+                    r
+                }
+            }
+        }
+    }
+
+    impl Drop for Worker {
+        fn drop(&mut self) {
+            let Some(w) = self.inner.take() else { return };
+            let wall = w.created.elapsed();
+            let wall_s = wall.as_secs_f64();
+            let busy_s = w.busy_ns as f64 / 1e9;
+            let stat = WorkerStat {
+                pool: w.pool.to_string(),
+                index: w.index,
+                busy_s,
+                wall_s,
+                jobs: w.jobs,
+                busy_fraction: if wall_s > 0.0 { busy_s / wall_s } else { 0.0 },
+            };
+            emit(&format!(
+                "{{\"ev\":\"worker\",\"pool\":\"{}\",\"index\":{},\"busy_us\":{},\
+                 \"wall_us\":{},\"jobs\":{}}}",
+                json::escape(w.pool),
+                w.index,
+                w.busy_ns / 1_000,
+                wall.as_micros(),
+                w.jobs,
+            ));
+            WORKERS.lock().expect("obs workers poisoned").push(stat);
+        }
+    }
+
+    /// Open a utilization guard for worker `index` of `pool`; records
+    /// busy/wall time and job count on drop.
+    pub fn worker(pool: &'static str, index: usize) -> Worker {
+        if !is_enabled() {
+            return Worker { inner: None };
+        }
+        Worker {
+            inner: Some(WorkerInner { pool, index, created: Instant::now(), busy_ns: 0, jobs: 0 }),
+        }
+    }
+
+    /// Mirror a log line into the JSONL sink.
+    pub fn sink_log(level: Verbosity, target: &str, args: fmt::Arguments<'_>) {
+        if !is_enabled() {
+            return;
+        }
+        // Cheap pre-check: skip formatting entirely when no sink is open.
+        if SINK.lock().expect("obs sink poisoned").is_none() {
+            return;
+        }
+        let level = match level {
+            Verbosity::Quiet => "error",
+            Verbosity::Normal => "info",
+            Verbosity::Verbose => "debug",
+        };
+        emit(&format!(
+            "{{\"ev\":\"log\",\"t_us\":{},\"level\":\"{level}\",\"target\":\"{}\",\"msg\":\"{}\"}}",
+            t_us(),
+            json::escape(target),
+            json::escape(&args.to_string()),
+        ));
+    }
+
+    /// Aggregate everything collected so far into a [`Report`].
+    pub fn report() -> Report {
+        let phases = SPAN_TOTALS
+            .lock()
+            .expect("obs spans poisoned")
+            .iter()
+            .map(|(name, (count, ns))| PhaseStat {
+                name: name.to_string(),
+                count: *count,
+                total_s: *ns as f64 / 1e9,
+            })
+            .collect();
+        Report {
+            wall_s: epoch().elapsed().as_secs_f64(),
+            phases,
+            workers: WORKERS.lock().expect("obs workers poisoned").clone(),
+            counters: counters_snapshot(),
+        }
+    }
+
+    /// Emit the final `run_end` event and flush the sink.
+    pub fn finish() {
+        emit(&format!("{{\"ev\":\"run_end\",\"t_us\":{}}}", t_us()));
+        let mut sink = SINK.lock().expect("obs sink poisoned");
+        if let Some(w) = sink.as_mut() {
+            let _ = w.flush();
+        }
+    }
+
+    /// Reset all global state. Test-only: not part of the public
+    /// contract, and racy against concurrent instrumented threads.
+    #[doc(hidden)]
+    pub fn reset_for_tests() {
+        ENABLED.store(false, Ordering::Release);
+        SPAN_TOTALS.lock().expect("obs spans poisoned").clear();
+        for (_, c) in COUNTERS.read().expect("obs counters poisoned").iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        WORKERS.lock().expect("obs workers poisoned").clear();
+        *SINK.lock().expect("obs sink poisoned") = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// No-op implementation (feature off): every call inlines to nothing
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::{ObsConfig, Report, Verbosity};
+    use std::fmt;
+    use std::io;
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn init(_cfg: &ObsConfig) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    /// Always `false`: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn add(_name: &'static str, _delta: u64) {}
+
+    /// Always 0: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn counter_value(_name: &str) -> u64 {
+        0
+    }
+
+    /// Always empty: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn counters_snapshot() -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Zero-sized stand-in for the live span guard.
+    #[must_use]
+    pub struct Span(());
+
+    impl Span {
+        /// Always 0: the `enabled` feature is compiled out.
+        #[inline(always)]
+        pub fn id(&self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span(())
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn span_labeled(_name: &'static str, _label: &str) -> Span {
+        Span(())
+    }
+
+    /// Zero-sized stand-in for the live worker guard.
+    #[must_use]
+    pub struct Worker(());
+
+    impl Worker {
+        /// Runs the job with no timing: the `enabled` feature is
+        /// compiled out.
+        #[inline(always)]
+        pub fn busy<R>(&mut self, f: impl FnOnce() -> R) -> R {
+            f()
+        }
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn worker(_pool: &'static str, _index: usize) -> Worker {
+        Worker(())
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn sink_log(_level: Verbosity, _target: &str, _args: fmt::Arguments<'_>) {}
+
+    /// Always empty: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn report() -> Report {
+        Report::default()
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn finish() {}
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[doc(hidden)]
+    #[inline(always)]
+    pub fn reset_for_tests() {}
+}
+
+pub use imp::{
+    add, counter_value, counters_snapshot, finish, init, is_enabled, report, reset_for_tests,
+    set_enabled, span, span_labeled, worker, Span, Worker,
+};

@@ -1,0 +1,197 @@
+//! Integration tests for the live obs implementation (the crate
+//! dev-depends on itself with `enabled`, so these always exercise the
+//! real machinery regardless of workspace features).
+//!
+//! The obs registry is process-global, so every test takes `GLOBAL` and
+//! resets state on entry.
+
+use mlpa_obs::json::{self, Value};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    mlpa_obs::reset_for_tests();
+    guard
+}
+
+/// A collision-free scratch path (no temp-file crate available).
+fn scratch(name: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("mlpa-obs-test-{}-{seq}-{name}", std::process::id()))
+}
+
+fn parse_lines(path: &PathBuf) -> Vec<Value> {
+    let text = std::fs::read_to_string(path).expect("sink file readable");
+    text.lines()
+        .map(|line| json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}")))
+        .collect()
+}
+
+#[test]
+fn spans_nest_across_thread_scope_workers() {
+    let _g = lock();
+    let sink = scratch("nesting.jsonl");
+    mlpa_obs::init(&mlpa_obs::ObsConfig { enabled: true, sink: Some(sink.clone()) }).expect("init");
+
+    const WORKERS: usize = 4;
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            scope.spawn(move || {
+                let outer = mlpa_obs::span_labeled("test.outer", &format!("w{w}"));
+                assert_ne!(outer.id(), 0, "span ids start at 1 while enabled");
+                for _ in 0..3 {
+                    let _inner = mlpa_obs::span_labeled("test.inner", &format!("w{w}"));
+                }
+            });
+        }
+    });
+    mlpa_obs::finish();
+
+    // Rebuild the hierarchy from the sink: each worker's inner spans
+    // must point at that same worker's outer span, and each outer span
+    // must be a root (parent null) — worker threads do not inherit the
+    // spawning thread's stack.
+    let events = parse_lines(&sink);
+    let mut outer_id_by_label = std::collections::BTreeMap::new();
+    for ev in &events {
+        if ev.get("ev").and_then(Value::as_str) == Some("span")
+            && ev.get("name").and_then(Value::as_str) == Some("test.outer")
+        {
+            let label = ev.get("label").and_then(Value::as_str).expect("label").to_string();
+            assert_eq!(ev.get("parent"), Some(&Value::Null), "outer span must be a root");
+            outer_id_by_label.insert(label, ev.get("id").and_then(Value::as_f64).expect("id"));
+        }
+    }
+    assert_eq!(outer_id_by_label.len(), WORKERS);
+
+    let mut inner_count = 0;
+    for ev in &events {
+        if ev.get("ev").and_then(Value::as_str) == Some("span")
+            && ev.get("name").and_then(Value::as_str) == Some("test.inner")
+        {
+            let label = ev.get("label").and_then(Value::as_str).expect("label");
+            let parent = ev.get("parent").and_then(Value::as_f64).expect("inner has a parent");
+            assert_eq!(
+                outer_id_by_label.get(label),
+                Some(&parent),
+                "inner span of {label} nests under its own thread's outer span"
+            );
+            inner_count += 1;
+        }
+    }
+    assert_eq!(inner_count, WORKERS * 3);
+
+    // Aggregated totals match, and the report carries them.
+    let report = mlpa_obs::report();
+    let outer = report.phases.iter().find(|p| p.name == "test.outer").expect("outer phase");
+    let inner = report.phases.iter().find(|p| p.name == "test.inner").expect("inner phase");
+    assert_eq!(outer.count, WORKERS as u64);
+    assert_eq!(inner.count, (WORKERS * 3) as u64);
+    assert!(outer.total_s.is_finite() && outer.total_s >= 0.0);
+    std::fs::remove_file(&sink).ok();
+}
+
+#[test]
+fn counters_are_atomic_under_contention() {
+    let _g = lock();
+    mlpa_obs::set_enabled(true);
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 100_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Mix first-touch registration races with plain
+                    // increments and a non-unit delta.
+                    mlpa_obs::add("test.contended", 1);
+                    if i == 0 {
+                        mlpa_obs::add("test.late", t + 1);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(mlpa_obs::counter_value("test.contended"), THREADS * PER_THREAD);
+    assert_eq!(mlpa_obs::counter_value("test.late"), THREADS * (THREADS + 1) / 2);
+    assert_eq!(mlpa_obs::counter_value("test.never_touched"), 0);
+
+    let snapshot = mlpa_obs::counters_snapshot();
+    assert!(snapshot.iter().any(|(n, v)| n == "test.contended" && *v == THREADS * PER_THREAD));
+}
+
+#[test]
+fn sink_is_line_buffered_one_object_per_line() {
+    let _g = lock();
+    let sink = scratch("lines.jsonl");
+    mlpa_obs::init(&mlpa_obs::ObsConfig { enabled: true, sink: Some(sink.clone()) }).expect("init");
+
+    // Interleave event kinds from several threads; every line must
+    // still be one complete JSON object (writes are mutex-serialised
+    // and flushed per line).
+    std::thread::scope(|scope| {
+        for w in 0..4 {
+            scope.spawn(move || {
+                let mut worker = mlpa_obs::worker("test-pool", w);
+                for i in 0..50 {
+                    worker.busy(|| {
+                        let _s = mlpa_obs::span_labeled("test.job", &format!("w{w}.j{i}"));
+                        mlpa_obs::add("test.jobs", 1);
+                    });
+                }
+            });
+        }
+    });
+    mlpa_obs::info!("test", "message with \"quotes\", a \\ backslash and a\nnewline");
+    mlpa_obs::finish();
+
+    let text = std::fs::read_to_string(&sink).expect("sink file readable");
+    assert!(text.ends_with('\n'), "sink ends with a complete line");
+    let mut kinds = std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let v = json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: not a single JSON object: {e}", i + 1));
+        let kind = v.get("ev").and_then(Value::as_str).expect("ev tag").to_string();
+        *kinds.entry(kind).or_insert(0u32) += 1;
+    }
+    assert_eq!(kinds.get("run_start"), Some(&1));
+    assert_eq!(kinds.get("run_end"), Some(&1));
+    assert_eq!(kinds.get("span"), Some(&200));
+    assert_eq!(kinds.get("worker"), Some(&4));
+    assert_eq!(kinds.get("log"), Some(&1));
+
+    // The escaped log line survived the round trip intact.
+    let report = mlpa_obs::report();
+    assert!(report.workers.len() == 4);
+    for w in &report.workers {
+        assert_eq!(w.pool, "test-pool");
+        assert_eq!(w.jobs, 50);
+        assert!(w.busy_fraction >= 0.0 && w.busy_fraction <= 1.0 + 1e-6);
+    }
+    std::fs::remove_file(&sink).ok();
+}
+
+#[test]
+fn runtime_disabled_is_inert() {
+    let _g = lock();
+    mlpa_obs::set_enabled(false);
+
+    let span = mlpa_obs::span("test.disabled");
+    assert_eq!(span.id(), 0);
+    drop(span);
+    mlpa_obs::add("test.disabled.counter", 7);
+    assert_eq!(mlpa_obs::counter_value("test.disabled.counter"), 0);
+    let mut worker = mlpa_obs::worker("test-pool", 0);
+    assert_eq!(worker.busy(|| 41 + 1), 42);
+    drop(worker);
+
+    let report = mlpa_obs::report();
+    assert!(report.phases.iter().all(|p| p.name != "test.disabled"));
+    assert!(report.workers.is_empty());
+}

@@ -100,6 +100,9 @@ pub fn choose_k(data: &Matrix, k_max: usize, threshold: f64, cfg: &KMeansConfig)
     assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
 
     let k_hi = k_max.min(data.rows());
+    let _span = mlpa_obs::span("phase.bic.sweep");
+    mlpa_obs::add("phase.bic.sweeps", 1);
+    mlpa_obs::add("phase.bic.candidates", k_hi as u64);
     let mut scratch = KMeansScratch::new();
     let mut candidates: Vec<(KMeansResult, f64)> = Vec::with_capacity(k_hi);
     for k in 1..=k_hi {

@@ -149,6 +149,7 @@ pub fn kmeans_with(
 ) -> KMeansResult {
     assert!(data.rows() > 0, "kmeans needs at least one point");
     assert!(k > 0, "k must be positive");
+    let _span = mlpa_obs::span("phase.kmeans");
 
     if k >= data.rows() {
         // Degenerate: every point its own cluster.
@@ -231,8 +232,15 @@ fn lloyd_pruned(
     // motion and propagates through the bounds like any other).
     let mut bounds_valid = false;
 
+    // Local tallies flushed to the obs counters once per call: the
+    // assign loop is the hottest code in the crate, so it must never
+    // touch a shared atomic per point.
+    let (mut obs_iters, mut obs_pruned, mut obs_scanned, mut obs_reseeds) =
+        (0u64, 0u64, 0u64, 0u64);
+
     for _ in 0..max_iters {
         let mut changed = false;
+        obs_iters += 1;
 
         // Assign.
         if bounds_valid {
@@ -256,14 +264,17 @@ fn lloyd_pruned(
                 let a = assignments[i];
                 let bound = s_half[a].max(lower[i]) * (1.0 - BOUND_SLACK);
                 if upper[i] <= bound {
+                    obs_pruned += 1;
                     continue; // assignment provably unchanged
                 }
                 // Tighten the upper bound with one exact distance
                 // before paying for the full scan.
                 upper[i] = distance_sq(data.row(i), centroids.row(a)).sqrt();
                 if upper[i] <= bound {
+                    obs_pruned += 1;
                     continue;
                 }
+                obs_scanned += 1;
                 let (na, d1, d2nd) = nearest2(data.row(i), centroids);
                 if na != a {
                     dirty[a] = true;
@@ -286,6 +297,7 @@ fn lloyd_pruned(
                 upper[i] = d1.sqrt();
                 lower[i] = d2nd.sqrt();
             }
+            obs_scanned += n as u64;
             bounds_valid = true;
         }
 
@@ -296,6 +308,7 @@ fn lloyd_pruned(
             // Assignments must be refreshed against the reseeded
             // centroid even if none changed this iteration.
             changed = true;
+            obs_reseeds += 1;
         }
         // Propagate centroid motion into the bounds: the assigned
         // centroid moved at most delta[a] closer/farther, every other
@@ -314,6 +327,13 @@ fn lloyd_pruned(
         if !changed {
             break;
         }
+    }
+
+    if mlpa_obs::is_enabled() {
+        mlpa_obs::add("phase.kmeans.iterations", obs_iters);
+        mlpa_obs::add("phase.kmeans.points_pruned", obs_pruned);
+        mlpa_obs::add("phase.kmeans.points_scanned", obs_scanned);
+        mlpa_obs::add("phase.kmeans.reseeds", obs_reseeds);
     }
 
     let inertia = (0..n).map(|i| distance_sq(data.row(i), centroids.row(assignments[i]))).sum();

@@ -197,15 +197,17 @@ impl<'p> DetailedSim<'p> {
     /// this region. Microarchitectural state persists across calls;
     /// statistics do not.
     pub fn simulate<S: InstructionStream>(&mut self, stream: &mut S, limit: u64) -> SimMetrics {
+        let _span = mlpa_obs::span("sim.detailed");
         self.hier.reset_stats();
         self.branch.reset_stats();
         let start_cycle = self.last_commit_cycle;
         let mut m = SimMetrics::default();
         let mut buf = Vec::with_capacity(64);
+        let mut tally = ObsTally::default();
 
         while m.instructions < limit {
             let Some(id) = stream.next_block(&mut buf) else { break };
-            self.run_block(id, &buf, &mut m);
+            self.run_block(id, &buf, &mut m, &mut tally);
         }
 
         m.cycles = self.last_commit_cycle.saturating_sub(start_cycle).max(
@@ -220,10 +222,38 @@ impl<'p> DetailedSim<'p> {
         m.l2_misses = self.hier.l2().misses();
         m.branches = self.branch.predictions();
         m.mispredicts = self.branch.mispredictions();
+        if mlpa_obs::is_enabled() {
+            mlpa_obs::add("sim.instructions", m.instructions);
+            mlpa_obs::add("sim.cycles", m.cycles);
+            mlpa_obs::add("sim.l1d.hits", m.l1d_hits);
+            mlpa_obs::add("sim.l1d.misses", m.l1d_misses);
+            mlpa_obs::add("sim.l1i.hits", m.l1i_hits);
+            mlpa_obs::add("sim.l1i.misses", m.l1i_misses);
+            mlpa_obs::add("sim.l2.hits", m.l2_hits);
+            mlpa_obs::add("sim.l2.misses", m.l2_misses);
+            mlpa_obs::add("sim.branches", m.branches);
+            mlpa_obs::add("sim.mispredicts", m.mispredicts);
+            mlpa_obs::add("sim.loads", m.loads);
+            mlpa_obs::add("sim.stores", m.stores);
+            mlpa_obs::add("sim.rob.samples", tally.samples);
+            mlpa_obs::add("sim.rob.occupancy_sum", tally.rob_occupancy);
+            mlpa_obs::add("sim.lsq.occupancy_sum", tally.lsq_occupancy);
+        }
         m
     }
 
-    fn run_block(&mut self, id: BlockId, insts: &[mlpa_isa::Instruction], m: &mut SimMetrics) {
+    /// Count ring entries still in flight (commit cycle beyond `now`).
+    fn in_flight(ring: &[u64], now: u64) -> u64 {
+        ring.iter().filter(|&&c| c > now).count() as u64
+    }
+
+    fn run_block(
+        &mut self,
+        id: BlockId,
+        insts: &[mlpa_isa::Instruction],
+        m: &mut SimMetrics,
+        tally: &mut ObsTally,
+    ) {
         let block = self.program.block(id);
         let line_mask = !(self.hier.l1i().config().line - 1);
         let fallthrough = BlockId::new(id.raw().saturating_add(1));
@@ -320,8 +350,30 @@ impl<'p> DetailedSim<'p> {
             }
 
             m.instructions += 1;
+            // ROB/LSQ occupancy sampling every 8192 instructions: count
+            // ring entries whose commit lies beyond this instruction's
+            // dispatch cycle, i.e. how many older instructions were
+            // still in flight when it entered the window. The mask test
+            // is on a register-resident local, so the check is
+            // branch-predicted away; when the obs feature is compiled
+            // out `is_enabled()` is a constant `false` and the whole
+            // block (and `tally`) is eliminated.
+            if m.instructions & 8191 == 0 && mlpa_obs::is_enabled() {
+                tally.samples += 1;
+                tally.rob_occupancy += Self::in_flight(&self.rob_ring, dispatch);
+                tally.lsq_occupancy += Self::in_flight(&self.lsq_ring, dispatch);
+            }
         }
     }
+}
+
+/// Per-`simulate` occupancy-sample accumulator, flushed to the obs
+/// counters once at the end of the call.
+#[derive(Debug, Default)]
+struct ObsTally {
+    samples: u64,
+    rob_occupancy: u64,
+    lsq_occupancy: u64,
 }
 
 #[cfg(test)]

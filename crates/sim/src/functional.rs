@@ -115,6 +115,10 @@ impl<'p> FunctionalSim<'p> {
             stats.instructions += buf.len() as u64;
             stats.blocks += 1;
         }
+        if mlpa_obs::is_enabled() {
+            mlpa_obs::add("sim.functional.instructions", stats.instructions);
+            mlpa_obs::add("sim.functional.blocks", stats.blocks);
+        }
         stats
     }
 
@@ -166,6 +170,9 @@ impl<'p> FunctionalSim<'p> {
             self.executed += buf.len() as u64;
             self.blocks += 1;
             skipped += buf.len() as u64;
+        }
+        if mlpa_obs::is_enabled() {
+            mlpa_obs::add("sim.functional.instructions", skipped);
         }
         skipped
     }
