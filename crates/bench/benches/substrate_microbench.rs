@@ -261,10 +261,32 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.bench_function("pipeline_instrumentation_off", |b| {
         b.iter(|| pipeline_current(black_box(&proj), black_box(&events)));
     });
+    // The histogram call sites in isolation: a local tally fed in a hot
+    // loop, merged once — the contract every instrumented kernel
+    // follows. Disabled (or compiled out) this must cost nothing
+    // measurable; the tracked baseline pins it.
+    group.bench_function("hist_sites_off", |b| {
+        b.iter(|| {
+            let mut t = mlpa_obs::HistTally::default();
+            for i in 0..4096u64 {
+                t.record(black_box(i));
+            }
+            mlpa_obs::hist_merge("bench.hist_sites", "n", &t);
+        });
+    });
     if cfg!(feature = "obs") {
         mlpa_obs::set_enabled(true);
         group.bench_function("pipeline_instrumentation_on", |b| {
             b.iter(|| pipeline_current(black_box(&proj), black_box(&events)));
+        });
+        group.bench_function("hist_sites_on", |b| {
+            b.iter(|| {
+                let mut t = mlpa_obs::HistTally::default();
+                for i in 0..4096u64 {
+                    t.record(black_box(i));
+                }
+                mlpa_obs::hist_merge("bench.hist_sites", "n", &t);
+            });
         });
         mlpa_obs::set_enabled(false);
     }
@@ -315,27 +337,7 @@ fn write_bench_json(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
         ));
     }
     out.push_str("  ],\n");
-    let pipeline = match (
-        mean_of(measurements, "phase_pipeline", "naive"),
-        mean_of(measurements, "phase_pipeline", "current"),
-    ) {
-        (Some(naive), Some(current)) if current > 0.0 => naive / current,
-        _ => 0.0,
-    };
-    let sweep = match (
-        mean_of(measurements, "phase_sweep", "naive"),
-        mean_of(measurements, "phase_sweep", "current"),
-    ) {
-        (Some(naive), Some(current)) if current > 0.0 => naive / current,
-        _ => 0.0,
-    };
-    let kmeans_speedup = match (
-        mean_of(measurements, "kmeans", "k10_n2000_d15_naive"),
-        mean_of(measurements, "kmeans", "k10_n2000_d15"),
-    ) {
-        (Some(naive), Some(current)) if current > 0.0 => naive / current,
-        _ => 0.0,
-    };
+    let [(_, pipeline), (_, sweep), (_, kmeans_speedup)] = derived_speedups(measurements);
     out.push_str(&format!(
         "  \"speedups\": {{ \"phase_pipeline\": {pipeline:.2}, \"phase_sweep\": {sweep:.2}, \"kmeans\": {kmeans_speedup:.2} }}\n"
     ));
@@ -350,6 +352,87 @@ fn write_bench_json(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
     }
 }
 
+/// Derived kernel speedups (naive-over-current mean ratios).
+fn derived_speedups(measurements: &[criterion::Measurement]) -> [(&'static str, f64); 3] {
+    let ratio = |group: &str, naive: &str, current: &str| match (
+        mean_of(measurements, group, naive),
+        mean_of(measurements, group, current),
+    ) {
+        (Some(n), Some(c)) if c > 0.0 => n / c,
+        _ => 0.0,
+    };
+    [
+        ("phase_pipeline", ratio("phase_pipeline", "naive", "current")),
+        ("phase_sweep", ratio("phase_sweep", "naive", "current")),
+        ("kmeans", ratio("kmeans", "k10_n2000_d15_naive", "k10_n2000_d15")),
+    ]
+}
+
+/// Append this run as one snapshot of the perf *trajectory*
+/// (`BENCH.json` at the repo top level): prior snapshots are preserved
+/// verbatim, so the file records how kernel cost and the derived
+/// speedups evolve change over change. The snapshot label comes from
+/// `MLPA_BENCH_LABEL` (defaulting to `snapshot-<n>`).
+fn write_trajectory(path: &std::ffi::OsStr, measurements: &[criterion::Measurement]) {
+    use mlpa_obs::json::{parse, Value};
+    use std::collections::BTreeMap;
+
+    let mut snapshots: Vec<String> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        match parse(&text) {
+            Ok(v) if v.get("schema").and_then(Value::as_str) == Some("mlpa-bench-suite-v1") => {
+                if let Some(arr) = v.get("snapshots").and_then(Value::as_arr) {
+                    snapshots.extend(arr.iter().map(Value::to_string));
+                }
+            }
+            _ => eprintln!(
+                "ignoring unreadable trajectory at {} (rewriting fresh)",
+                path.to_string_lossy()
+            ),
+        }
+    }
+    let label = std::env::var("MLPA_BENCH_LABEL")
+        .unwrap_or_else(|_| format!("snapshot-{}", snapshots.len() + 1));
+
+    let benches: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            Value::Obj(BTreeMap::from([
+                ("group".to_string(), Value::Str(m.group.clone())),
+                ("id".to_string(), Value::Str(m.id.clone())),
+                ("mean_ns".to_string(), Value::Num(m.mean_ns.round())),
+                ("samples".to_string(), Value::Num(m.samples as f64)),
+            ]))
+        })
+        .collect();
+    let speedups = Value::Obj(
+        derived_speedups(measurements)
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Value::Num((v * 100.0).round() / 100.0)))
+            .collect(),
+    );
+    let snap = Value::Obj(BTreeMap::from([
+        ("label".to_string(), Value::Str(label.clone())),
+        ("benches".to_string(), Value::Arr(benches)),
+        ("speedups".to_string(), speedups),
+    ]));
+    snapshots.push(snap.to_string());
+
+    let out = format!(
+        "{{\n  \"schema\": \"mlpa-bench-suite-v1\",\n  \"snapshots\": [\n    {}\n  ]\n}}\n",
+        snapshots.join(",\n    ")
+    );
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("failed to write {}: {e}", path.to_string_lossy());
+    } else {
+        println!(
+            "appended trajectory snapshot \"{label}\" ({} total) to {}",
+            snapshots.len(),
+            path.to_string_lossy()
+        );
+    }
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_substrate(&mut criterion);
@@ -360,5 +443,8 @@ fn main() {
     assert_obs_overhead(&measurements);
     if let Some(path) = std::env::var_os("MLPA_BENCH_JSON") {
         write_bench_json(&path, &measurements);
+    }
+    if let Some(path) = std::env::var_os("MLPA_BENCH_TRAJECTORY") {
+        write_trajectory(&path, &measurements);
     }
 }

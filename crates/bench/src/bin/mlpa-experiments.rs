@@ -11,6 +11,7 @@
 //!   table2       Table II deviation comparison
 //!   table3       Table III simulation-point statistics
 //!   motivation   §III-B coarse-phase statistics
+//!   accuracy     per-coarse-phase error attribution (COASTS, Config A)
 //!   all          everything above
 //!
 //! OPTIONS
@@ -122,8 +123,17 @@ fn parse_args() -> Result<Options, String> {
                 std::process::exit(0);
             }
             cmd if !cmd.starts_with('-') => {
-                const COMMANDS: [&str; 8] =
-                    ["configs", "fig1", "fig3", "fig4", "table2", "table3", "motivation", "all"];
+                const COMMANDS: [&str; 9] = [
+                    "configs",
+                    "fig1",
+                    "fig3",
+                    "fig4",
+                    "table2",
+                    "table3",
+                    "motivation",
+                    "accuracy",
+                    "all",
+                ];
                 if !COMMANDS.contains(&cmd) {
                     return Err(format!(
                         "unknown command `{cmd}` (expected one of: {})",
@@ -234,7 +244,8 @@ fn run(o: &Options) -> Result<(), String> {
     }
 
     let need_suite_run =
-        ["fig3", "fig4", "table2", "table3", "motivation"].iter().any(|c| wants(c));
+        ["fig3", "fig4", "table2", "table3", "motivation", "accuracy"].iter().any(|c| wants(c));
+    let mut attribution_json: Option<String> = None;
     if need_suite_run {
         let suite = build_suite(o);
         if suite.is_empty() {
@@ -305,6 +316,10 @@ fn run(o: &Options) -> Result<(), String> {
         if wants("motivation") {
             print_and_keep(&mut emitted, "motivation.txt", report::motivation(&results));
         }
+        if wants("accuracy") {
+            print_and_keep(&mut emitted, "accuracy_report.txt", report::accuracy_report(&results));
+        }
+        attribution_json = Some(report::accuracy_json(&results));
         emitted.push(("full_results.csv".into(), report::full_csv(&results, &models[0].1)));
     }
 
@@ -319,7 +334,9 @@ fn run(o: &Options) -> Result<(), String> {
     // per-phase wall clock, per-worker utilization, counter totals.
     if o.obs.is_some() && mlpa_obs::is_enabled() {
         let path = o.out.join("RUN_REPORT.json");
-        fs::write(&path, mlpa_obs::report().to_json())
+        let extra: Vec<(String, String)> =
+            attribution_json.into_iter().map(|j| ("attribution".to_string(), j)).collect();
+        fs::write(&path, mlpa_obs::report().to_json_with(&extra))
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         info!("obs", "wrote {}", path.display());
         mlpa_obs::finish();

@@ -3,8 +3,11 @@
 //! set all tables and figures are derived from.
 
 use mlpa_core::prelude::*;
-use mlpa_core::{CoastsOutcome, FineOutcome, MultilevelOutcome};
-use mlpa_sim::{MachineConfig, MetricDeviation, MetricEstimate};
+use mlpa_core::{
+    attribute_segments, ground_truth_segmented, AccuracyAttribution, CoastsOutcome, FineOutcome,
+    MultilevelOutcome,
+};
+use mlpa_sim::{MachineConfig, MetricDeviation, MetricEstimate, SimMetrics};
 use mlpa_workloads::{BenchmarkSpec, CompiledBenchmark, Suite};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -66,6 +69,10 @@ pub struct BenchResult {
     pub coarse_last_position: f64,
     /// Fine SimPoint cluster count.
     pub fine_k: usize,
+    /// Per-coarse-phase error decomposition of the COASTS estimate
+    /// under Config A (the segmented-truth pass that produces it also
+    /// supplies `truths[0]`, so attribution costs no extra simulation).
+    pub attribution: AccuracyAttribution,
     /// Wall-clock seconds spent on this benchmark.
     pub elapsed: f64,
 }
@@ -151,19 +158,45 @@ impl Experiment {
         let co: CoastsOutcome = coasts_with(&mut ctx, &self.coasts)?;
         let ml: MultilevelOutcome = multilevel_with(&mut ctx, &self.multilevel)?;
 
-        // Ground truths + estimates per config.
+        // Ground truths + estimates per config. Under Config A the
+        // truth comes from a *segmented* detailed pass sliced at the
+        // coarse interval boundaries: its per-segment statistics
+        // telescope exactly to the single-pass totals (same cost, same
+        // result) and additionally feed the accuracy attribution.
         let zero =
             MetricEstimate { cpi: 0.0, l1_hit_rate: 0.0, l2_hit_rate: 0.0, mispredict_rate: 0.0 };
         let mut truths = [zero; 2];
         let mut per_method: Vec<Vec<(MetricEstimate, MetricDeviation)>> = vec![Vec::new(); 3];
+        let lens: Vec<u64> = co.intervals.iter().map(|iv| iv.len).collect();
+        let mut segments_a: Vec<SimMetrics> = Vec::new();
+        let mut coasts_outcome_a = None;
         for (ci, config) in self.configs.iter().enumerate() {
-            let truth = ground_truth(&cb, config).estimate();
+            let truth = if ci == 0 {
+                segments_a = ground_truth_segmented(&cb, config, &lens);
+                let mut whole = SimMetrics::default();
+                for s in &segments_a {
+                    whole += *s;
+                }
+                whole.estimate()
+            } else {
+                ground_truth(&cb, config).estimate()
+            };
             truths[ci] = truth;
             for (mi, plan) in [&fine.plan, &co.plan, &ml.plan].into_iter().enumerate() {
-                let est = execute_plan(&cb, config, plan, self.warmup).estimate;
+                let out = execute_plan(&cb, config, plan, self.warmup);
+                let est = out.estimate;
+                if ci == 0 && mi == 1 {
+                    coasts_outcome_a = Some(out);
+                }
                 per_method[mi].push((est, est.deviation_from(&truth)));
             }
         }
+        let attribution = attribute_segments(
+            &spec.name,
+            &co,
+            &coasts_outcome_a.expect("COASTS ran under Config A"),
+            &segments_a,
+        );
 
         let mk = |plan: &SimulationPlan, rows: &[(MetricEstimate, MetricDeviation)]| MethodResult {
             plan: plan.clone(),
@@ -185,6 +218,7 @@ impl Experiment {
             coarse_k: co.simpoints.k,
             coarse_last_position: co.plan.last_position(),
             fine_k: fine.simpoints.k,
+            attribution,
             elapsed: t0.elapsed().as_secs_f64(),
         })
     }
@@ -215,6 +249,9 @@ impl Experiment {
                     .busy(|| self.run_benchmark(spec))
                     .map_err(|e| format!("{}: {e}", spec.name))?;
                 progress(&r);
+                // A counter snapshot per completed benchmark gives the
+                // trace converter its counter-series timeline.
+                mlpa_obs::emit_counters_snapshot();
                 out.push(r);
             }
             return Ok(out);
@@ -295,6 +332,7 @@ impl Experiment {
                 // Stream progress for the completed prefix, in order.
                 while let Some(Some(done)) = slots.get(emitted) {
                     progress(done);
+                    mlpa_obs::emit_counters_snapshot();
                     emitted += 1;
                 }
             }
@@ -372,6 +410,12 @@ mod tests {
             assert!(co.functional_fraction() < sp.functional_fraction());
             // Multi-level detail volume <= COASTS detail volume.
             assert!(r.methods[2].plan.detailed_insts() <= r.methods[1].plan.detailed_insts());
+            // Attribution decomposes the COASTS/Config-A estimate, and
+            // its telescoped truth *is* truths[0].
+            assert_eq!(r.attribution.benchmark, r.name);
+            assert_eq!(r.attribution.truth, r.truths[0]);
+            assert_eq!(r.attribution.estimate, r.methods[1].estimates[0]);
+            assert!(!r.attribution.phases.is_empty());
         }
         let g = geomean_speedup(&results, Method::Multilevel, &model);
         assert!(g > 1.0, "multi-level should beat SimPoint, geomean {g:.2}");
@@ -403,6 +447,7 @@ mod tests {
             assert_eq!(x.coarse_k, y.coarse_k);
             assert_eq!(x.coarse_last_position, y.coarse_last_position);
             assert_eq!(x.fine_k, y.fine_k);
+            assert_eq!(x.attribution, y.attribution);
         }
     }
 

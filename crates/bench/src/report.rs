@@ -141,6 +141,22 @@ pub fn motivation(results: &[BenchResult]) -> String {
     out
 }
 
+/// The per-coarse-phase error decomposition of every benchmark's
+/// COASTS estimate under Config A (`results/accuracy_report.txt`).
+pub fn accuracy_report(results: &[BenchResult]) -> String {
+    let attrs: Vec<mlpa_core::AccuracyAttribution> =
+        results.iter().map(|r| r.attribution.clone()).collect();
+    mlpa_core::render_report(&attrs)
+}
+
+/// The `attribution` JSON section of `RUN_REPORT.json` (validated by
+/// `obs-check`).
+pub fn accuracy_json(results: &[BenchResult]) -> String {
+    let attrs: Vec<mlpa_core::AccuracyAttribution> =
+        results.iter().map(|r| r.attribution.clone()).collect();
+    mlpa_core::render_attribution_json(&attrs)
+}
+
 /// Full per-benchmark dump (appendix-style) — everything in one CSV.
 pub fn full_csv(results: &[BenchResult], model: &CostModel) -> String {
     let mut out = String::from(
@@ -208,5 +224,10 @@ mod tests {
         assert_eq!(csv.lines().count(), 1 + 3, "header + 3 method rows");
         let scsv = figure_speedup_csv(&rs, Method::Coasts, &model);
         assert!(scsv.starts_with("benchmark,speedup"));
+        let acc = accuracy_report(&rs);
+        assert!(acc.contains("eon") && acc.contains("residual"));
+        let aj = accuracy_json(&rs);
+        let v = mlpa_obs::json::parse(&aj).expect("attribution JSON parses");
+        assert_eq!(v.as_arr().map(<[_]>::len), Some(1));
     }
 }

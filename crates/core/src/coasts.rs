@@ -61,6 +61,13 @@ pub struct CoastsOutcome {
     pub profile: LoopProfile,
     /// Header block of the selected outermost structure.
     pub header: mlpa_isa::BlockId,
+    /// Index in `intervals` of the first *classified* interval: the
+    /// slice `simpoints.assignments` indexes is
+    /// `intervals[body_start .. body_start + assignments.len()]` (the
+    /// prologue/epilogue exclusion documented on the classification
+    /// body). Accuracy attribution uses this to align cluster
+    /// assignments with the full interval list.
+    pub body_start: usize,
 }
 
 /// Run COASTS on a compiled benchmark.
@@ -124,7 +131,7 @@ pub fn coasts_with(
     }
 
     mlpa_obs::add("core.profile.coarse_intervals", intervals.len() as u64);
-    let body = classification_body(intervals, has_prologue);
+    let (body_start, body) = classification_body(intervals, has_prologue);
     // `select` copies the signatures into contiguous row-major storage
     // and clusters with the pruned k-means (see DESIGN.md, "Kernel
     // layout").
@@ -137,7 +144,7 @@ pub fn coasts_with(
         .collect();
     let plan = SimulationPlan::new(points, total_insts)?;
     let intervals = intervals.to_vec();
-    Ok(CoastsOutcome { plan, simpoints, intervals, profile, header })
+    Ok(CoastsOutcome { plan, simpoints, intervals, profile, header, body_start })
 }
 
 /// Coarse-grained sampling classifies *iteration instances only*: the
@@ -161,12 +168,13 @@ pub fn coasts_with(
 ///   final interval (the loop's only iteration instance, epilogue
 ///   included) is kept: a partial iteration beats non-loop code as the
 ///   phase representative.
-fn classification_body(intervals: &[Interval], has_prologue: bool) -> &[Interval] {
-    let after_prologue = &intervals[usize::from(has_prologue && intervals.len() > 1)..];
+fn classification_body(intervals: &[Interval], has_prologue: bool) -> (usize, &[Interval]) {
+    let start = usize::from(has_prologue && intervals.len() > 1);
+    let after_prologue = &intervals[start..];
     if after_prologue.len() > 1 {
-        &after_prologue[..after_prologue.len() - 1]
+        (start, &after_prologue[..after_prologue.len() - 1])
     } else {
-        after_prologue
+        (start, after_prologue)
     }
 }
 
@@ -265,21 +273,21 @@ mod tests {
 
         // >= 3 intervals: both exclusions apply (or just the epilogue
         // when there is no prologue).
-        assert_eq!(classification_body(&three, true), &three[1..2]);
-        assert_eq!(classification_body(&three, false), &three[..2]);
+        assert_eq!(classification_body(&three, true), (1, &three[1..2]));
+        assert_eq!(classification_body(&three, false), (0, &three[..2]));
 
         // Exactly 2 with a prologue: drop the prologue, keep the final
         // interval even though it absorbs the epilogue — a partial
         // iteration beats non-loop code as the representative.
-        assert_eq!(classification_body(&three[..2], true), &three[1..2]);
+        assert_eq!(classification_body(&three[..2], true), (1, &three[1..2]));
         // Exactly 2 without a prologue: the first is a pure iteration;
         // drop only the epilogue-absorbing final interval.
-        assert_eq!(classification_body(&three[..2], false), &three[..1]);
+        assert_eq!(classification_body(&three[..2], false), (0, &three[..1]));
 
         // A single interval is prologue, body, and epilogue at once:
         // classified as-is regardless of the prologue flag.
-        assert_eq!(classification_body(&three[..1], true), &three[..1]);
-        assert_eq!(classification_body(&three[..1], false), &three[..1]);
+        assert_eq!(classification_body(&three[..1], true), (0, &three[..1]));
+        assert_eq!(classification_body(&three[..1], false), (0, &three[..1]));
     }
 
     #[test]
@@ -288,10 +296,12 @@ mod tests {
         for n in 1..6 {
             intervals.push(iv(n - 1, (n as u64 - 1) * 10, 10));
             for has_prologue in [false, true] {
-                let body = classification_body(&intervals, has_prologue);
+                let (start, body) = classification_body(&intervals, has_prologue);
                 assert!(!body.is_empty(), "n={n} prologue={has_prologue}");
-                // Everything classified is a real interval of the input.
+                // Everything classified is a real interval of the input,
+                // and `start` locates the body within it.
                 assert!(body.iter().all(|b| intervals.contains(b)));
+                assert_eq!(&intervals[start..start + body.len()], body);
             }
         }
     }
@@ -303,5 +313,21 @@ mod tests {
         mlpa_phase::interval::validate_intervals(&out.intervals).unwrap();
         let total: u64 = out.intervals.iter().map(|iv| iv.len).sum();
         assert_eq!(total, out.plan.total_insts());
+    }
+
+    /// `body_start` aligns the assignment vector with the full interval
+    /// list: each selected point's interval (a body index) maps back to
+    /// a real interval with the point's start offset.
+    #[test]
+    fn body_start_aligns_assignments_with_intervals() {
+        let cb = multi_phase_cb(2, 10);
+        let out = coasts(&cb, &CoastsConfig::default()).unwrap();
+        let n = out.simpoints.assignments.len();
+        assert!(out.body_start + n <= out.intervals.len());
+        for p in &out.simpoints.points {
+            let iv = &out.intervals[out.body_start + p.interval];
+            assert_eq!(iv.start, p.start);
+            assert_eq!(iv.len, p.len);
+        }
     }
 }

@@ -375,6 +375,39 @@ pub fn ground_truth(cb: &CompiledBenchmark, config: &MachineConfig) -> SimMetric
     sim.simulate(&mut WorkloadStream::new(cb), u64::MAX)
 }
 
+/// Ground truth measured in segments: one persistent-state detailed
+/// pass over the trace, slicing the *statistics* at the cumulative
+/// boundaries of `lens`. Microarchitectural state persists across
+/// `simulate` calls while statistics reset, and cycles are counted as
+/// commit-cycle deltas, so the per-segment metrics sum exactly to the
+/// single-pass [`ground_truth`] totals — accuracy attribution gets the
+/// per-interval truth without paying a second full pass.
+///
+/// Each segment runs to the cumulative target, so a segment that
+/// overshoots its boundary (blocks are atomic) shortens the next one
+/// rather than letting drift accumulate. Segments whose target was
+/// already covered, or that start past the end of the trace, come back
+/// empty. Instructions past the last boundary are not simulated.
+pub fn ground_truth_segmented(
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+    lens: &[u64],
+) -> Vec<SimMetrics> {
+    let _span = mlpa_obs::span("core.truth.segmented");
+    let mut sim = DetailedSim::new(*config, cb.program());
+    let mut stream = WorkloadStream::new(cb);
+    let mut pos = 0u64;
+    let mut target = 0u64;
+    lens.iter()
+        .map(|&len| {
+            target = target.saturating_add(len);
+            let m = sim.simulate(&mut stream, target.saturating_sub(pos));
+            pos += m.instructions;
+            m
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +534,43 @@ mod tests {
             cold_dev.l2_hit_rate,
             warm_dev.l2_hit_rate
         );
+    }
+
+    /// The segmented pass is an exact refinement of the single-pass
+    /// truth: summing every per-segment statistic telescopes to the
+    /// whole-run result, field for field.
+    #[test]
+    fn segmented_truth_telescopes_to_ground_truth() {
+        let cb = cb();
+        let config = MachineConfig::table1_base();
+        let whole = ground_truth(&cb, &config);
+        let total = ground_truth_len(&cb);
+        // Uneven segments plus a catch-all tail past the trace end.
+        let lens = [total / 7, total / 3, total / 5, u64::MAX];
+        let segs = ground_truth_segmented(&cb, &config, &lens);
+        assert_eq!(segs.len(), lens.len());
+        let mut sum = SimMetrics::default();
+        for s in &segs {
+            sum += *s;
+        }
+        assert_eq!(sum, whole, "segment sums must telescope exactly");
+        // Each bounded segment landed at (or just past) its target.
+        assert!(segs[0].instructions >= lens[0]);
+    }
+
+    /// Segments whose cumulative target is already covered (zero
+    /// length, or a trace that ended early) come back empty rather
+    /// than stealing instructions from their successors.
+    #[test]
+    fn segmented_truth_handles_empty_segments() {
+        let cb = cb();
+        let config = MachineConfig::table1_base();
+        let total = ground_truth_len(&cb);
+        let segs = ground_truth_segmented(&cb, &config, &[total / 2, 0, u64::MAX, 1_000]);
+        assert_eq!(segs[1], SimMetrics::default(), "zero-length segment is empty");
+        assert_eq!(segs[3], SimMetrics::default(), "past-the-end segment is empty");
+        let sum: u64 = segs.iter().map(|s| s.instructions).sum();
+        assert_eq!(sum, ground_truth(&cb, &config).instructions);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! # Ok::<(), String>(())
 //! ```
 
+pub mod attribution;
 pub mod coasts;
 pub mod estimate;
 pub mod files;
@@ -45,10 +46,14 @@ pub mod stats;
 pub mod systematic;
 pub mod timing;
 
+pub use attribution::{
+    attribute, attribute_segments, render_attribution_json, render_report, AccuracyAttribution,
+    PhaseAttribution,
+};
 pub use coasts::{coasts, coasts_with, CoastsConfig, CoastsOutcome};
 pub use estimate::{
-    effective_jobs, execute_plan, execute_plan_jobs, ground_truth, panic_message, ExecutionCost,
-    ExecutionOutcome, WarmupMode,
+    effective_jobs, execute_plan, execute_plan_jobs, ground_truth, ground_truth_segmented,
+    panic_message, ExecutionCost, ExecutionOutcome, WarmupMode,
 };
 pub use multilevel::{multilevel, multilevel_with, MultilevelConfig, MultilevelOutcome};
 pub use pipeline::{

@@ -3,10 +3,16 @@
 //! Validates (with no external tools) that:
 //!
 //! * a JSONL event stream holds exactly one well-formed JSON object per
-//!   line, each with a known `ev` tag and that tag's required fields;
-//! * a `RUN_REPORT.json` matches the `mlpa-run-report-v1` schema and
-//!   reports the counters the acceptance criteria name (k-means
-//!   iterations, cache hits/misses per level, instructions simulated).
+//!   line, each with a known `ev` tag and that tag's required fields.
+//!   Both stream generations are understood: v1 (no `schema` marker on
+//!   `run_start`, no `tid` fields) and v2 (`mlpa-events-v2`: `tid` on
+//!   span/worker/log events, `hist` and `counters` event kinds). A
+//!   stream mixing the two is rejected with a line-numbered error;
+//! * a `RUN_REPORT.json` matches the `mlpa-run-report-v2` schema —
+//!   including the histogram section and, when present, the accuracy
+//!   attribution section — and reports the counters the acceptance
+//!   criteria name (k-means iterations, cache hits/misses per level,
+//!   instructions simulated).
 //!
 //! Usage: `obs-check --events <events.jsonl> --report <RUN_REPORT.json>`
 //! (either argument may be given alone). Exits non-zero with a
@@ -87,11 +93,30 @@ fn num_field(v: &Value, key: &str) -> Result<f64, String> {
     field(v, key)?.as_f64().ok_or_else(|| format!("field `{key}` is not a number"))
 }
 
+/// Check `tid` presence against the stream schema: required in v2,
+/// forbidden (mixed-schema) in v1.
+fn check_tid(v: &Value, v2: bool) -> Result<(), String> {
+    match (v2, v.get("tid")) {
+        (true, None) => Err("missing field `tid` (required in a v2 stream)".into()),
+        (true, Some(t)) => {
+            t.as_f64().map(drop).ok_or_else(|| "field `tid` is not a number".to_string())
+        }
+        (false, Some(_)) => Err("v2 field `tid` in a v1 stream (mixed-schema)".into()),
+        (false, None) => Ok(()),
+    }
+}
+
 /// Validate a JSONL event stream; returns the number of events.
+///
+/// The stream schema is declared by the `schema` field of the leading
+/// `run_start` event (absent = v1); every later line is validated
+/// against that declaration, so a stream concatenated from different
+/// generations fails with the offending line number.
 fn check_events(text: &str) -> Result<usize, String> {
     let mut count = 0usize;
     let mut saw_start = false;
     let mut saw_end = false;
+    let mut v2 = false;
     for (lineno, line) in text.lines().enumerate() {
         let lineno = lineno + 1;
         if line.trim().is_empty() {
@@ -102,10 +127,29 @@ fn check_events(text: &str) -> Result<usize, String> {
             return Err(format!("line {lineno}: not a JSON object"));
         }
         let ev = str_field(&v, "ev").map_err(|e| format!("line {lineno}: {e}"))?;
+        if !saw_start && ev != "run_start" {
+            return Err(format!("line {lineno}: stream must begin with run_start"));
+        }
         let check = match ev.as_str() {
             "run_start" => {
-                saw_start = true;
-                num_field(&v, "t_us").map(drop)
+                let schema = match v.get("schema") {
+                    None => Ok(false),
+                    Some(Value::Str(s)) if s == mlpa_obs::EVENTS_SCHEMA => Ok(true),
+                    Some(Value::Str(s)) => Err(format!("unknown events schema `{s}`")),
+                    Some(_) => Err("field `schema` is not a string".to_string()),
+                };
+                schema.and_then(|this_v2| {
+                    if saw_start && this_v2 != v2 {
+                        return Err(format!(
+                            "run_start declares {} but the stream began as {} (mixed-schema)",
+                            if this_v2 { "v2" } else { "v1" },
+                            if v2 { "v2" } else { "v1" },
+                        ));
+                    }
+                    saw_start = true;
+                    v2 = this_v2;
+                    num_field(&v, "t_us").map(drop)
+                })
             }
             "run_end" => {
                 saw_end = true;
@@ -115,6 +159,7 @@ fn check_events(text: &str) -> Result<usize, String> {
                 .iter()
                 .try_for_each(|k| num_field(&v, k).map(drop))
                 .and_then(|()| str_field(&v, "name").map(drop))
+                .and_then(|()| check_tid(&v, v2))
                 .and_then(|()| match field(&v, "parent")? {
                     Value::Null | Value::Num(_) => Ok(()),
                     _ => Err("field `parent` is not a number or null".into()),
@@ -122,11 +167,32 @@ fn check_events(text: &str) -> Result<usize, String> {
             "worker" => ["index", "busy_us", "wall_us", "jobs"]
                 .iter()
                 .try_for_each(|k| num_field(&v, k).map(drop))
-                .and_then(|()| str_field(&v, "pool").map(drop)),
+                .and_then(|()| str_field(&v, "pool").map(drop))
+                .and_then(|()| check_tid(&v, v2)),
             "log" => ["level", "target", "msg"]
                 .iter()
                 .try_for_each(|k| str_field(&v, k).map(drop))
-                .and_then(|()| num_field(&v, "t_us").map(drop)),
+                .and_then(|()| num_field(&v, "t_us").map(drop))
+                .and_then(|()| check_tid(&v, v2)),
+            "hist" if !v2 => Err("v2 event kind `hist` in a v1 stream (mixed-schema)".into()),
+            "hist" => ["t_us", "count", "sum", "min", "max", "p50", "p90", "p99"]
+                .iter()
+                .try_for_each(|k| num_field(&v, k).map(drop))
+                .and_then(|()| str_field(&v, "name").map(drop))
+                .and_then(|()| str_field(&v, "unit").map(drop)),
+            "counters" if !v2 => {
+                Err("v2 event kind `counters` in a v1 stream (mixed-schema)".into())
+            }
+            "counters" => num_field(&v, "t_us").map(drop).and_then(|()| {
+                let obj =
+                    field(&v, "counters")?.as_obj().ok_or("field `counters` is not an object")?;
+                for (name, value) in obj {
+                    if value.as_f64().is_none() {
+                        return Err(format!("counter `{name}` is not a number"));
+                    }
+                }
+                Ok(())
+            }),
             other => Err(format!("unknown event kind `{other}`")),
         };
         check.map_err(|e| format!("line {lineno}: {e}"))?;
@@ -193,6 +259,53 @@ fn check_report(text: &str) -> Result<(), String> {
             return Err(format!("missing required counter `{required}`"));
         }
     }
+
+    let hists = field(&v, "histograms")?.as_arr().ok_or("field `histograms` is not an array")?;
+    if hists.is_empty() {
+        return Err("no histograms recorded".into());
+    }
+    for (i, h) in hists.iter().enumerate() {
+        str_field(h, "name").map_err(|e| format!("histograms[{i}]: {e}"))?;
+        str_field(h, "unit").map_err(|e| format!("histograms[{i}]: {e}"))?;
+        for k in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+            num_field(h, k).map_err(|e| format!("histograms[{i}]: {e}"))?;
+        }
+        let count = num_field(h, "count").expect("checked");
+        if count <= 0.0 {
+            return Err(format!("histograms[{i}]: count {count}, expected > 0"));
+        }
+        let (min, max) =
+            (num_field(h, "min").expect("checked"), num_field(h, "max").expect("checked"));
+        if min > max {
+            return Err(format!("histograms[{i}]: min {min} > max {max}"));
+        }
+        for q in ["p50", "p90", "p99"] {
+            let p = num_field(h, q).expect("checked");
+            if p < min || p > max {
+                return Err(format!("histograms[{i}]: {q} {p} outside [min, max]"));
+            }
+        }
+    }
+
+    // The accuracy attribution section is optional (only emitted by the
+    // experiment harness with --attrib) but must be well-formed when
+    // present.
+    if let Some(attrib) = v.get("attribution") {
+        let arr = attrib.as_arr().ok_or("field `attribution` is not an array")?;
+        for (i, a) in arr.iter().enumerate() {
+            str_field(a, "benchmark").map_err(|e| format!("attribution[{i}]: {e}"))?;
+            let phases = field(a, "phases")
+                .and_then(|p| {
+                    p.as_arr().ok_or_else(|| "field `phases` is not an array".to_string())
+                })
+                .map_err(|e| format!("attribution[{i}]: {e}"))?;
+            for (j, p) in phases.iter().enumerate() {
+                for k in ["cluster", "weight", "cpi_err_share"] {
+                    num_field(p, k).map_err(|e| format!("attribution[{i}].phases[{j}]: {e}"))?;
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -207,10 +320,12 @@ mod tests {
         assert!(check_events("{\"ev\":\"mystery\"}\n").is_err());
         // Missing run_end.
         assert!(check_events("{\"ev\":\"run_start\",\"t_us\":0}\n").is_err());
+        // First event must be run_start.
+        assert!(check_events("{\"ev\":\"run_end\",\"t_us\":0}\n").is_err());
     }
 
     #[test]
-    fn accepts_a_complete_stream() {
+    fn accepts_a_complete_v1_stream() {
         let stream = concat!(
             "{\"ev\":\"run_start\",\"t_us\":0}\n",
             "{\"ev\":\"span\",\"name\":\"a\",\"id\":1,\"parent\":null,\"t_us\":1,\"dur_us\":5}\n",
@@ -222,8 +337,71 @@ mod tests {
     }
 
     #[test]
-    fn report_schema_is_enforced() {
-        let mut report = mlpa_obs::Report {
+    fn accepts_a_complete_v2_stream() {
+        let stream = concat!(
+            "{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v2\",\"t_us\":0}\n",
+            "{\"ev\":\"span\",\"name\":\"a\",\"id\":1,\"parent\":null,\"tid\":0,\"t_us\":1,\
+             \"dur_us\":5}\n",
+            "{\"ev\":\"log\",\"t_us\":2,\"tid\":0,\"level\":\"info\",\"target\":\"t\",\
+             \"msg\":\"m\"}\n",
+            "{\"ev\":\"worker\",\"pool\":\"p\",\"index\":0,\"tid\":1,\"busy_us\":3,\
+             \"wall_us\":4,\"jobs\":1}\n",
+            "{\"ev\":\"counters\",\"t_us\":5,\"counters\":{\"sim.instructions\":10}}\n",
+            "{\"ev\":\"hist\",\"t_us\":8,\"name\":\"sim.rob.occupancy\",\"unit\":\"n\",\
+             \"count\":4,\"sum\":20,\"min\":2,\"max\":8,\"p50\":7,\"p90\":8,\"p99\":8}\n",
+            "{\"ev\":\"run_end\",\"t_us\":9}\n",
+        );
+        assert_eq!(check_events(stream).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_mixed_schema_streams_with_line_numbers() {
+        // v2 event kind in a v1 stream.
+        let hist_in_v1 = concat!(
+            "{\"ev\":\"run_start\",\"t_us\":0}\n",
+            "{\"ev\":\"hist\",\"t_us\":1,\"name\":\"h\",\"unit\":\"n\",\"count\":1,\"sum\":1,\
+             \"min\":1,\"max\":1,\"p50\":1,\"p90\":1,\"p99\":1}\n",
+            "{\"ev\":\"run_end\",\"t_us\":9}\n",
+        );
+        let err = check_events(hist_in_v1).unwrap_err();
+        assert!(err.starts_with("line 2:") && err.contains("mixed-schema"), "{err}");
+
+        // v2 field on a v1 stream's span.
+        let tid_in_v1 = concat!(
+            "{\"ev\":\"run_start\",\"t_us\":0}\n",
+            "{\"ev\":\"span\",\"name\":\"a\",\"id\":1,\"parent\":null,\"tid\":0,\"t_us\":1,\
+             \"dur_us\":5}\n",
+            "{\"ev\":\"run_end\",\"t_us\":9}\n",
+        );
+        let err = check_events(tid_in_v1).unwrap_err();
+        assert!(err.starts_with("line 2:") && err.contains("mixed-schema"), "{err}");
+
+        // v1 span (no tid) in a v2 stream.
+        let v1_span_in_v2 = concat!(
+            "{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v2\",\"t_us\":0}\n",
+            "{\"ev\":\"span\",\"name\":\"a\",\"id\":1,\"parent\":null,\"t_us\":1,\"dur_us\":5}\n",
+            "{\"ev\":\"run_end\",\"t_us\":9}\n",
+        );
+        let err = check_events(v1_span_in_v2).unwrap_err();
+        assert!(err.starts_with("line 2:") && err.contains("tid"), "{err}");
+
+        // Two concatenated runs of different generations.
+        let concatenated = concat!(
+            "{\"ev\":\"run_start\",\"t_us\":0}\n",
+            "{\"ev\":\"run_end\",\"t_us\":1}\n",
+            "{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v2\",\"t_us\":0}\n",
+            "{\"ev\":\"run_end\",\"t_us\":1}\n",
+        );
+        let err = check_events(concatenated).unwrap_err();
+        assert!(err.starts_with("line 3:") && err.contains("mixed-schema"), "{err}");
+
+        // Unknown future schema.
+        let unknown = "{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v3\",\"t_us\":0}\n";
+        assert!(check_events(unknown).unwrap_err().contains("unknown events schema"));
+    }
+
+    fn sample_report() -> mlpa_obs::Report {
+        mlpa_obs::Report {
             wall_s: 1.0,
             phases: vec![mlpa_obs::PhaseStat {
                 name: "core.profile".into(),
@@ -239,10 +417,49 @@ mod tests {
                 busy_fraction: 0.8,
             }],
             counters: REQUIRED_COUNTERS.iter().map(|n| (n.to_string(), 1)).collect(),
-        };
+            histograms: vec![mlpa_obs::HistogramStat {
+                name: "sim.rob.occupancy".into(),
+                unit: "n".into(),
+                count: 4,
+                sum: 20,
+                min: 2,
+                max: 8,
+                p50: 7,
+                p90: 8,
+                p99: 8,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_schema_is_enforced() {
+        let mut report = sample_report();
         assert!(check_report(&report.to_json()).is_ok());
         report.counters.remove(0);
         let err = check_report(&report.to_json()).unwrap_err();
         assert!(err.contains("phase.kmeans.iterations"), "{err}");
+    }
+
+    #[test]
+    fn report_histograms_are_validated() {
+        let mut report = sample_report();
+        report.histograms.clear();
+        assert!(check_report(&report.to_json()).unwrap_err().contains("histograms"));
+        let mut report = sample_report();
+        report.histograms[0].p99 = 9; // outside [min, max]
+        let err = check_report(&report.to_json()).unwrap_err();
+        assert!(err.contains("p99"), "{err}");
+    }
+
+    #[test]
+    fn report_attribution_section_is_validated_when_present() {
+        let report = sample_report();
+        let good = "[{\"benchmark\": \"eon\", \"phases\": [{\"cluster\": 0, \"weight\": 1.0, \
+                    \"cpi_err_share\": -0.01}]}]";
+        let doc = report.to_json_with(&[("attribution".to_string(), good.to_string())]);
+        assert!(check_report(&doc).is_ok(), "{:?}", check_report(&doc));
+        let bad = "[{\"phases\": []}]";
+        let doc = report.to_json_with(&[("attribution".to_string(), bad.to_string())]);
+        assert!(check_report(&doc).unwrap_err().contains("benchmark"));
     }
 }

@@ -202,6 +202,15 @@ impl Parser<'_> {
         Ok(Value::Num(n))
     }
 
+    /// Read the four hex digits of a `\uXXXX` escape.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self.bytes.get(self.pos..self.pos + 4).ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -226,18 +235,39 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                            self.pos += 4;
-                            // Surrogates (only produced for control
-                            // chars by this repo) fall back to the
-                            // replacement character rather than pairing.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            match code {
+                                // High surrogate: must be followed by a
+                                // `\uXXXX` low surrogate; the pair
+                                // decodes to one astral code point.
+                                0xd800..=0xdbff => {
+                                    if self.bytes.get(self.pos) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(format!(
+                                            "unpaired high surrogate at byte {}",
+                                            self.pos
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err(format!(
+                                            "expected low surrogate at byte {}",
+                                            self.pos
+                                        ));
+                                    }
+                                    let c = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    out.push(char::from_u32(c).expect("valid astral code point"));
+                                }
+                                0xdc00..=0xdfff => {
+                                    return Err(format!(
+                                        "unpaired low surrogate at byte {}",
+                                        self.pos
+                                    ));
+                                }
+                                _ => out.push(char::from_u32(code).expect("non-surrogate BMP")),
+                            }
                         }
                         other => return Err(format!("unknown escape `\\{}`", other as char)),
                     }
@@ -354,5 +384,94 @@ mod tests {
     #[test]
     fn unicode_escape() {
         assert_eq!(parse("\"\\u0041\"").unwrap(), Value::Str("A".into()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_chars() {
+        // U+1D11E MUSICAL SYMBOL G CLEF = \uD834\uDD1E.
+        assert_eq!(parse("\"\\uD834\\uDD1E\"").unwrap(), Value::Str("\u{1d11e}".into()));
+        // Lowercase hex and a surrounding context.
+        assert_eq!(parse("\"x\\ud83d\\ude00y\"").unwrap(), Value::Str("x\u{1f600}y".into()));
+    }
+
+    #[test]
+    fn rejects_unpaired_surrogates() {
+        for bad in [
+            "\"\\uD834\"",        // lone high surrogate
+            "\"\\uD834x\"",       // high surrogate, no escape next
+            "\"\\uD834\\n\"",     // high surrogate, wrong escape
+            "\"\\uD834\\uD834\"", // high followed by high
+            "\"\\uDD1E\"",        // lone low surrogate
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    /// SplitMix64 (offline-build stand-in for a property-test RNG).
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Property: any string the sink can emit — including control
+    /// characters, quotes, backslashes, and astral-plane characters —
+    /// survives an escape -> parse round trip unchanged, both bare and
+    /// embedded as an object value.
+    #[test]
+    fn escape_round_trip_property() {
+        let mut rng = SplitMix64(0x0b5e_c0de);
+        for case in 0..500 {
+            let len = (rng.next() % 24) as usize;
+            let mut s = String::new();
+            for _ in 0..len {
+                let c = match rng.next() % 5 {
+                    // Control characters (the \uXXXX escape path).
+                    0 => char::from_u32((rng.next() % 0x20) as u32).unwrap(),
+                    // Characters with dedicated short escapes.
+                    1 => *['"', '\\', '\n', '\r', '\t'].get((rng.next() % 5) as usize).unwrap(),
+                    // Printable ASCII.
+                    2 => char::from_u32(0x20 + (rng.next() % 0x5f) as u32).unwrap(),
+                    // BMP, skipping the surrogate range.
+                    3 => {
+                        let v = (rng.next() % (0x1_0000 - 0x800)) as u32;
+                        char::from_u32(if v >= 0xd800 { v + 0x800 } else { v }).unwrap()
+                    }
+                    // Astral plane (encoded as surrogate pairs by JSON
+                    // emitters that escape non-ASCII).
+                    _ => char::from_u32(0x1_0000 + (rng.next() % 0xf_0000) as u32).unwrap(),
+                };
+                s.push(c);
+            }
+            let doc = format!("\"{}\"", escape(&s));
+            assert_eq!(parse(&doc).unwrap(), Value::Str(s.clone()), "case {case}: {doc:?}");
+            let obj = format!("{{\"k\": \"{}\"}}", escape(&s));
+            assert_eq!(
+                parse(&obj).unwrap().get("k").and_then(Value::as_str),
+                Some(s.as_str()),
+                "case {case} (object): {obj:?}"
+            );
+        }
+    }
+
+    /// Astral characters written as explicit surrogate-pair escapes
+    /// parse to the same string as the raw UTF-8 form.
+    #[test]
+    fn surrogate_escape_matches_raw_utf8() {
+        let mut rng = SplitMix64(0x5eed);
+        for _ in 0..200 {
+            let c = char::from_u32(0x1_0000 + (rng.next() % 0xf_0000) as u32).unwrap();
+            let mut units = [0u16; 2];
+            let units = c.encode_utf16(&mut units);
+            let escaped: String = units.iter().map(|u| format!("\\u{u:04x}")).collect();
+            let doc = format!("\"{escaped}\"");
+            assert_eq!(parse(&doc).unwrap(), Value::Str(c.to_string()), "{doc:?}");
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Zero-cost observability for the mlpa workspace.
 //!
-//! Three instruments, one switch:
+//! Four instruments, one switch:
 //!
 //! * **Spans** — hierarchical wall-clock timings ([`span`],
 //!   [`span_labeled`]). Parent/child links follow the per-thread span
@@ -8,6 +8,10 @@
 //! * **Counters** — named monotonic totals ([`add`]) backed by leaked
 //!   `AtomicU64`s; hot loops should accumulate locally and flush once
 //!   per call.
+//! * **Histograms** — lock-free log2-bucketed distributions
+//!   ([`hist_record`], [`hist_merge`]): span-duration spread, ROB/LSQ
+//!   occupancy, cache-miss run lengths, k-means iterations. Hot loops
+//!   accumulate into a local [`HistTally`] and merge once per call.
 //! * **Workers** — per-worker utilization guards ([`worker`]) used by
 //!   the plan-execution and experiment-suite thread pools.
 //!
@@ -141,7 +145,44 @@ pub struct ObsConfig {
 }
 
 /// Schema identifier written into `RUN_REPORT.json`.
-pub const RUN_REPORT_SCHEMA: &str = "mlpa-run-report-v1";
+pub const RUN_REPORT_SCHEMA: &str = "mlpa-run-report-v2";
+
+/// Schema identifier stamped on the `run_start` event of a JSONL
+/// stream. v1 streams predate the marker (no `schema` field).
+pub const EVENTS_SCHEMA: &str = "mlpa-events-v2";
+
+/// Number of log2 buckets in a histogram: bucket 0 holds the value 0,
+/// bucket `b` (1..=64) holds values whose bit length is `b`, i.e.
+/// `2^(b-1) <= v < 2^b`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Summary of one histogram, as serialized into `RUN_REPORT.json` and
+/// `hist` sink events. Quantiles are bucket upper bounds (`2^b - 1`)
+/// clamped to the observed `[min, max]`, so they are exact for
+/// single-bucket distributions and within 2x otherwise — and, unlike
+/// means of timings, deterministic for deterministic inputs when the
+/// recorded values are (counts, occupancies, run lengths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramStat {
+    /// Histogram name (span-duration histograms get a `span.` prefix).
+    pub name: String,
+    /// Unit tag: `"us"` for time-like values, `"n"` for counts.
+    pub unit: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median (bucket upper bound, clamped to `[min, max]`).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound, clamped).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound, clamped).
+    pub p99: u64,
+}
 
 /// Aggregated per-span-name wall-clock totals.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,11 +224,23 @@ pub struct Report {
     pub workers: Vec<WorkerStat>,
     /// Counter totals, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Histogram summaries, sorted by name (empty histograms omitted).
+    pub histograms: Vec<HistogramStat>,
 }
 
 impl Report {
-    /// Serialize to the `mlpa-run-report-v1` JSON document.
+    /// Serialize to the `mlpa-run-report-v2` JSON document.
     pub fn to_json(&self) -> String {
+        self.to_json_with(&[])
+    }
+
+    /// Serialize with extra top-level sections appended after the
+    /// standard ones. Each `(key, value)` pair contributes
+    /// `"key": value`, where `value` must already be rendered JSON —
+    /// this lets downstream crates (e.g. the experiment harness) inject
+    /// sections like accuracy attribution without `mlpa-obs` knowing
+    /// their types.
+    pub fn to_json_with(&self, extra: &[(String, String)]) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": \"{RUN_REPORT_SCHEMA}\",\n"));
@@ -226,9 +279,66 @@ impl Report {
                 json::escape(name)
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        out.push_str("  \"histograms\": [\n");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i + 1 < self.histograms.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"unit\": \"{}\", \"count\": {}, \"sum\": {}, \
+                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}{sep}\n",
+                json::escape(&h.name),
+                json::escape(&h.unit),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99,
+            ));
+        }
+        out.push_str("  ]");
+        for (key, value) in extra {
+            out.push_str(&format!(",\n  \"{}\": {value}", json::escape(key)));
+        }
+        out.push_str("\n}\n");
         out
     }
+}
+
+/// Bucket index for `value` in a log2 histogram: 0 for 0, otherwise the
+/// bit length of `value` (so bucket `b` spans `2^(b-1)..2^b`).
+#[inline]
+pub fn hist_bucket(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Upper bound of histogram bucket `b` (the largest value it can hold).
+#[inline]
+pub fn hist_bucket_max(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        b if b >= 64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// Quantile estimate over raw bucket counts: the upper bound of the
+/// first bucket where the cumulative count reaches `ceil(q * count)`,
+/// clamped to the observed `[min, max]`.
+pub fn hist_quantile(buckets: &[u64; HIST_BUCKETS], count: u64, q: f64, min: u64, max: u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (b, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            return hist_bucket_max(b).clamp(min, max);
+        }
+    }
+    max
 }
 
 // ---------------------------------------------------------------------------
@@ -237,7 +347,10 @@ impl Report {
 
 #[cfg(feature = "enabled")]
 mod imp {
-    use super::{ObsConfig, PhaseStat, Report, Verbosity, WorkerStat};
+    use super::{
+        hist_bucket, hist_quantile, HistogramStat, ObsConfig, PhaseStat, Report, Verbosity,
+        WorkerStat, EVENTS_SCHEMA, HIST_BUCKETS,
+    };
     use crate::json;
     use std::cell::RefCell;
     use std::collections::BTreeMap;
@@ -256,9 +369,21 @@ mod imp {
         RwLock::new(BTreeMap::new());
     static WORKERS: Mutex<Vec<WorkerStat>> = Mutex::new(Vec::new());
     static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+    static HISTS: RwLock<BTreeMap<&'static str, &'static Hist>> = RwLock::new(BTreeMap::new());
+    /// Span-duration histograms live in their own registry (reported
+    /// under a `span.` name prefix) so they can never collide with an
+    /// explicitly recorded histogram name.
+    static SPAN_HISTS: RwLock<BTreeMap<&'static str, &'static Hist>> = RwLock::new(BTreeMap::new());
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
     thread_local! {
         static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        /// Stable per-thread id for sink events (trace-track mapping).
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn tid() -> u64 {
+        TID.with(|t| *t)
     }
 
     fn epoch() -> Instant {
@@ -293,7 +418,10 @@ mod imp {
             *SINK.lock().expect("obs sink poisoned") = Some(BufWriter::new(file));
         }
         ENABLED.store(cfg.enabled, Ordering::Release);
-        emit(&format!("{{\"ev\":\"run_start\",\"t_us\":{}}}", t_us()));
+        emit(&format!(
+            "{{\"ev\":\"run_start\",\"schema\":\"{EVENTS_SCHEMA}\",\"t_us\":{}}}",
+            t_us()
+        ));
         Ok(())
     }
 
@@ -345,6 +473,171 @@ mod imp {
             .collect()
     }
 
+    /// One live histogram: lock-free log2 buckets plus count/sum and
+    /// atomically maintained min/max. Leaked into `'static` on first
+    /// use, like counters.
+    struct Hist {
+        unit: &'static str,
+        buckets: [AtomicU64; HIST_BUCKETS],
+        count: AtomicU64,
+        sum: AtomicU64,
+        min: AtomicU64,
+        max: AtomicU64,
+    }
+
+    impl Hist {
+        fn new(unit: &'static str) -> Hist {
+            Hist {
+                unit,
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }
+        }
+
+        fn record(&self, value: u64) {
+            self.buckets[hist_bucket(value)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            self.min.fetch_min(value, Ordering::Relaxed);
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+
+        fn merge(&self, t: &HistTally) {
+            for (b, &c) in t.buckets.iter().enumerate() {
+                if c > 0 {
+                    self.buckets[b].fetch_add(c, Ordering::Relaxed);
+                }
+            }
+            self.count.fetch_add(t.count, Ordering::Relaxed);
+            self.sum.fetch_add(t.sum, Ordering::Relaxed);
+            self.min.fetch_min(t.min, Ordering::Relaxed);
+            self.max.fetch_max(t.max, Ordering::Relaxed);
+        }
+
+        fn snapshot(&self, name: String) -> Option<HistogramStat> {
+            let count = self.count.load(Ordering::Relaxed);
+            if count == 0 {
+                return None;
+            }
+            let mut buckets = [0u64; HIST_BUCKETS];
+            for (b, c) in buckets.iter_mut().enumerate() {
+                *c = self.buckets[b].load(Ordering::Relaxed);
+            }
+            let min = self.min.load(Ordering::Relaxed);
+            let max = self.max.load(Ordering::Relaxed);
+            Some(HistogramStat {
+                name,
+                unit: self.unit.to_string(),
+                count,
+                sum: self.sum.load(Ordering::Relaxed),
+                min,
+                max,
+                p50: hist_quantile(&buckets, count, 0.50, min, max),
+                p90: hist_quantile(&buckets, count, 0.90, min, max),
+                p99: hist_quantile(&buckets, count, 0.99, min, max),
+            })
+        }
+    }
+
+    fn hist_of(
+        registry: &RwLock<BTreeMap<&'static str, &'static Hist>>,
+        name: &'static str,
+        unit: &'static str,
+    ) -> &'static Hist {
+        if let Some(h) = registry.read().expect("obs hists poisoned").get(name) {
+            return h;
+        }
+        let mut map = registry.write().expect("obs hists poisoned");
+        map.entry(name).or_insert_with(|| Box::leak(Box::new(Hist::new(unit))))
+    }
+
+    /// Local, unsynchronized histogram tally for hot loops: record into
+    /// this on the stack, then [`hist_merge`] once per outer call.
+    #[derive(Debug, Clone)]
+    pub struct HistTally {
+        buckets: [u64; HIST_BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    }
+
+    impl HistTally {
+        /// An empty tally.
+        pub fn new() -> HistTally {
+            HistTally { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        }
+
+        /// Record one value (no atomics, no branches on the obs switch —
+        /// guard the loop with [`is_enabled`] instead).
+        #[inline]
+        pub fn record(&mut self, value: u64) {
+            self.buckets[hist_bucket(value)] += 1;
+            self.count += 1;
+            self.sum = self.sum.saturating_add(value);
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+
+        /// Number of values recorded so far.
+        #[inline]
+        pub fn count(&self) -> u64 {
+            self.count
+        }
+
+        /// True when nothing has been recorded.
+        #[inline]
+        pub fn is_empty(&self) -> bool {
+            self.count == 0
+        }
+    }
+
+    impl Default for HistTally {
+        fn default() -> HistTally {
+            HistTally::new()
+        }
+    }
+
+    /// Record one value into the named histogram. Registers it (with
+    /// `unit`) on first use; hot loops should use a [`HistTally`] and
+    /// [`hist_merge`] instead.
+    pub fn hist_record(name: &'static str, unit: &'static str, value: u64) {
+        if !is_enabled() {
+            return;
+        }
+        hist_of(&HISTS, name, unit).record(value);
+    }
+
+    /// Merge a local [`HistTally`] into the named histogram (one batch
+    /// of atomic adds per bucket touched). Empty tallies are free.
+    pub fn hist_merge(name: &'static str, unit: &'static str, tally: &HistTally) {
+        if !is_enabled() || tally.count == 0 {
+            return;
+        }
+        hist_of(&HISTS, name, unit).merge(tally);
+    }
+
+    /// Summaries of all non-empty histograms, sorted by name.
+    /// Span-duration histograms appear with a `span.` name prefix.
+    pub fn histograms_snapshot() -> Vec<HistogramStat> {
+        let mut out: Vec<HistogramStat> = Vec::new();
+        for (name, h) in HISTS.read().expect("obs hists poisoned").iter() {
+            if let Some(s) = h.snapshot(name.to_string()) {
+                out.push(s);
+            }
+        }
+        for (name, h) in SPAN_HISTS.read().expect("obs hists poisoned").iter() {
+            if let Some(s) = h.snapshot(format!("span.{name}")) {
+                out.push(s);
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
     /// RAII timing guard returned by [`span`] / [`span_labeled`].
     #[must_use]
     pub struct Span {
@@ -383,6 +676,7 @@ mod imp {
                 entry.0 += 1;
                 entry.1 += dur.as_nanos();
             }
+            hist_of(&SPAN_HISTS, inner.name, "us").record(dur.as_micros() as u64);
             let label = inner
                 .label
                 .as_deref()
@@ -390,11 +684,12 @@ mod imp {
                 .unwrap_or_default();
             let parent = inner.parent.map(|p| p.to_string()).unwrap_or_else(|| "null".into());
             emit(&format!(
-                "{{\"ev\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\
+                "{{\"ev\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"tid\":{},\
                  \"t_us\":{},\"dur_us\":{}{}}}",
                 json::escape(inner.name),
                 inner.id,
                 parent,
+                tid(),
                 inner.start,
                 dur.as_micros(),
                 label,
@@ -484,10 +779,11 @@ mod imp {
                 busy_fraction: if wall_s > 0.0 { busy_s / wall_s } else { 0.0 },
             };
             emit(&format!(
-                "{{\"ev\":\"worker\",\"pool\":\"{}\",\"index\":{},\"busy_us\":{},\
+                "{{\"ev\":\"worker\",\"pool\":\"{}\",\"index\":{},\"tid\":{},\"busy_us\":{},\
                  \"wall_us\":{},\"jobs\":{}}}",
                 json::escape(w.pool),
                 w.index,
+                tid(),
                 w.busy_ns / 1_000,
                 wall.as_micros(),
                 w.jobs,
@@ -522,11 +818,31 @@ mod imp {
             Verbosity::Verbose => "debug",
         };
         emit(&format!(
-            "{{\"ev\":\"log\",\"t_us\":{},\"level\":\"{level}\",\"target\":\"{}\",\"msg\":\"{}\"}}",
+            "{{\"ev\":\"log\",\"t_us\":{},\"tid\":{},\"level\":\"{level}\",\"target\":\"{}\",\
+             \"msg\":\"{}\"}}",
             t_us(),
+            tid(),
             json::escape(target),
             json::escape(&args.to_string()),
         ));
+    }
+
+    /// Emit a `counters` snapshot event (all counter totals at this
+    /// instant) to the sink. The trace exporter derives counter-series
+    /// tracks (e.g. cache hit rates) from successive snapshots.
+    pub fn emit_counters_snapshot() {
+        if !is_enabled() {
+            return;
+        }
+        if SINK.lock().expect("obs sink poisoned").is_none() {
+            return;
+        }
+        let body = counters_snapshot()
+            .iter()
+            .map(|(name, value)| format!("\"{}\":{value}", json::escape(name)))
+            .collect::<Vec<_>>()
+            .join(",");
+        emit(&format!("{{\"ev\":\"counters\",\"t_us\":{},\"counters\":{{{body}}}}}", t_us()));
     }
 
     /// Aggregate everything collected so far into a [`Report`].
@@ -546,11 +862,29 @@ mod imp {
             phases,
             workers: WORKERS.lock().expect("obs workers poisoned").clone(),
             counters: counters_snapshot(),
+            histograms: histograms_snapshot(),
         }
     }
 
-    /// Emit the final `run_end` event and flush the sink.
+    /// Emit one `hist` summary event per non-empty histogram, then the
+    /// final `run_end` event, and flush the sink.
     pub fn finish() {
+        for h in histograms_snapshot() {
+            emit(&format!(
+                "{{\"ev\":\"hist\",\"t_us\":{},\"name\":\"{}\",\"unit\":\"{}\",\"count\":{},\
+                 \"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                t_us(),
+                json::escape(&h.name),
+                json::escape(&h.unit),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99,
+            ));
+        }
         emit(&format!("{{\"ev\":\"run_end\",\"t_us\":{}}}", t_us()));
         let mut sink = SINK.lock().expect("obs sink poisoned");
         if let Some(w) = sink.as_mut() {
@@ -568,6 +902,17 @@ mod imp {
             c.store(0, Ordering::Relaxed);
         }
         WORKERS.lock().expect("obs workers poisoned").clear();
+        for registry in [&HISTS, &SPAN_HISTS] {
+            for (_, h) in registry.read().expect("obs hists poisoned").iter() {
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                h.count.store(0, Ordering::Relaxed);
+                h.sum.store(0, Ordering::Relaxed);
+                h.min.store(u64::MAX, Ordering::Relaxed);
+                h.max.store(0, Ordering::Relaxed);
+            }
+        }
         *SINK.lock().expect("obs sink poisoned") = None;
     }
 }
@@ -578,7 +923,7 @@ mod imp {
 
 #[cfg(not(feature = "enabled"))]
 mod imp {
-    use super::{ObsConfig, Report, Verbosity};
+    use super::{HistogramStat, ObsConfig, Report, Verbosity};
     use std::fmt;
     use std::io;
 
@@ -613,6 +958,52 @@ mod imp {
     pub fn counters_snapshot() -> Vec<(String, u64)> {
         Vec::new()
     }
+
+    /// Zero-sized stand-in for the live local histogram tally.
+    #[derive(Debug, Clone, Default)]
+    pub struct HistTally(());
+
+    impl HistTally {
+        /// An empty tally: the `enabled` feature is compiled out.
+        #[inline(always)]
+        pub fn new() -> HistTally {
+            HistTally(())
+        }
+
+        /// No-op: the `enabled` feature is compiled out.
+        #[inline(always)]
+        pub fn record(&mut self, _value: u64) {}
+
+        /// Always 0: the `enabled` feature is compiled out.
+        #[inline(always)]
+        pub fn count(&self) -> u64 {
+            0
+        }
+
+        /// Always true: the `enabled` feature is compiled out.
+        #[inline(always)]
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn hist_record(_name: &'static str, _unit: &'static str, _value: u64) {}
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn hist_merge(_name: &'static str, _unit: &'static str, _tally: &HistTally) {}
+
+    /// Always empty: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn histograms_snapshot() -> Vec<HistogramStat> {
+        Vec::new()
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn emit_counters_snapshot() {}
 
     /// Zero-sized stand-in for the live span guard.
     #[must_use]
@@ -678,6 +1069,7 @@ mod imp {
 }
 
 pub use imp::{
-    add, counter_value, counters_snapshot, finish, init, is_enabled, report, reset_for_tests,
-    set_enabled, span, span_labeled, worker, Span, Worker,
+    add, counter_value, counters_snapshot, emit_counters_snapshot, finish, hist_merge, hist_record,
+    histograms_snapshot, init, is_enabled, report, reset_for_tests, set_enabled, span,
+    span_labeled, worker, HistTally, Span, Worker,
 };

@@ -177,6 +177,134 @@ fn sink_is_line_buffered_one_object_per_line() {
     std::fs::remove_file(&sink).ok();
 }
 
+/// The log2 bucket map and its inverse, pinned at every power-of-two
+/// boundary (the off-by-one surface of the whole instrument).
+#[test]
+fn hist_bucket_boundaries() {
+    assert_eq!(mlpa_obs::hist_bucket(0), 0);
+    assert_eq!(mlpa_obs::hist_bucket(1), 1);
+    assert_eq!(mlpa_obs::hist_bucket(2), 2);
+    assert_eq!(mlpa_obs::hist_bucket(3), 2);
+    assert_eq!(mlpa_obs::hist_bucket(4), 3);
+    assert_eq!(mlpa_obs::hist_bucket(u64::MAX), 64);
+    for k in 1..64u32 {
+        // 2^k opens bucket k+1; 2^k - 1 closes bucket k.
+        assert_eq!(mlpa_obs::hist_bucket(1u64 << k), k as usize + 1, "2^{k}");
+        assert_eq!(mlpa_obs::hist_bucket((1u64 << k) - 1), k as usize, "2^{k}-1");
+    }
+    assert_eq!(mlpa_obs::hist_bucket_max(0), 0);
+    assert_eq!(mlpa_obs::hist_bucket_max(1), 1);
+    assert_eq!(mlpa_obs::hist_bucket_max(64), u64::MAX);
+    assert_eq!(mlpa_obs::hist_bucket_max(65), u64::MAX);
+    // Round trip: every value lands in a bucket whose range covers it.
+    for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+        let b = mlpa_obs::hist_bucket(v);
+        assert!(v <= mlpa_obs::hist_bucket_max(b), "{v} above its bucket's max");
+        if b > 0 {
+            assert!(v > mlpa_obs::hist_bucket_max(b - 1), "{v} fits the previous bucket");
+        }
+        assert!(b < mlpa_obs::HIST_BUCKETS);
+    }
+}
+
+/// Concurrent `hist_record` and tally merges must lose no values: the
+/// final snapshot's count/sum/min/max and bucket-derived quantiles
+/// equal a single-threaded reference over the same multiset.
+#[test]
+fn histograms_merge_exactly_under_contention() {
+    let _g = lock();
+    mlpa_obs::set_enabled(true);
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                let mut tally = mlpa_obs::HistTally::default();
+                for i in 0..PER_THREAD {
+                    let v = t * PER_THREAD + i;
+                    if i % 2 == 0 {
+                        // Direct global records race with tally merges.
+                        mlpa_obs::hist_record("test.contended_hist", "n", v);
+                    } else {
+                        tally.record(v);
+                    }
+                }
+                mlpa_obs::hist_merge("test.contended_hist", "n", &tally);
+            });
+        }
+    });
+
+    let stat = mlpa_obs::histograms_snapshot()
+        .into_iter()
+        .find(|h| h.name == "test.contended_hist")
+        .expect("histogram registered");
+    let n = THREADS * PER_THREAD;
+    assert_eq!(stat.unit, "n");
+    assert_eq!(stat.count, n);
+    assert_eq!(stat.sum, n * (n - 1) / 2);
+    assert_eq!(stat.min, 0);
+    assert_eq!(stat.max, n - 1);
+
+    // Reference quantiles from a single-threaded bucket fill of the
+    // same values 0..n.
+    let mut buckets = [0u64; mlpa_obs::HIST_BUCKETS];
+    for v in 0..n {
+        buckets[mlpa_obs::hist_bucket(v)] += 1;
+    }
+    for (q, got) in [(0.5, stat.p50), (0.9, stat.p90), (0.99, stat.p99)] {
+        let want = mlpa_obs::hist_quantile(&buckets, n, q, 0, n - 1);
+        assert_eq!(got, want, "q={q}");
+        assert!((stat.min..=stat.max).contains(&got), "q={q} outside [min,max]");
+    }
+}
+
+/// Span durations land in the separate `span.`-prefixed registry, and
+/// `finish()` emits one `hist` summary event per histogram.
+#[test]
+fn span_histograms_and_hist_events() {
+    let _g = lock();
+    let sink = scratch("hist.jsonl");
+    mlpa_obs::init(&mlpa_obs::ObsConfig { enabled: true, sink: Some(sink.clone()) }).expect("init");
+
+    for _ in 0..5 {
+        let _s = mlpa_obs::span("test.hist_span");
+    }
+    mlpa_obs::hist_record("test.plain", "n", 3);
+    mlpa_obs::finish();
+
+    let hists = mlpa_obs::histograms_snapshot();
+    let span_hist = hists.iter().find(|h| h.name == "span.test.hist_span").expect("span hist");
+    assert_eq!(span_hist.unit, "us");
+    assert_eq!(span_hist.count, 5);
+    assert!(hists.iter().any(|h| h.name == "test.plain" && h.count == 1));
+
+    let events = parse_lines(&sink);
+    let hist_events: Vec<&Value> =
+        events.iter().filter(|e| e.get("ev").and_then(Value::as_str) == Some("hist")).collect();
+    assert_eq!(hist_events.len(), hists.len(), "one hist event per histogram");
+    for he in hist_events {
+        let name = he.get("name").and_then(Value::as_str).expect("name");
+        let h = hists.iter().find(|h| h.name == name).expect("snapshot entry");
+        assert_eq!(he.get("count").and_then(Value::as_f64), Some(h.count as f64));
+        assert_eq!(he.get("p99").and_then(Value::as_f64), Some(h.p99 as f64));
+    }
+    std::fs::remove_file(&sink).ok();
+}
+
+/// Runtime-disabled, the histogram sites record nothing — same
+/// contract as counters and spans.
+#[test]
+fn disabled_histograms_record_nothing() {
+    let _g = lock();
+    mlpa_obs::set_enabled(false);
+    mlpa_obs::hist_record("test.disabled_hist", "n", 1);
+    let mut t = mlpa_obs::HistTally::default();
+    t.record(7);
+    mlpa_obs::hist_merge("test.disabled_hist", "n", &t);
+    assert!(mlpa_obs::histograms_snapshot().iter().all(|h| h.name != "test.disabled_hist"));
+}
+
 #[test]
 fn runtime_disabled_is_inert() {
     let _g = lock();

@@ -334,6 +334,10 @@ fn lloyd_pruned(
         mlpa_obs::add("phase.kmeans.points_pruned", obs_pruned);
         mlpa_obs::add("phase.kmeans.points_scanned", obs_scanned);
         mlpa_obs::add("phase.kmeans.reseeds", obs_reseeds);
+        // Distribution of Lloyd iterations needed per restart —
+        // convergence-behaviour drift shows up here before it shows up
+        // in wall clock.
+        mlpa_obs::hist_record("phase.kmeans.iters_per_restart", "n", obs_iters);
     }
 
     let inertia = (0..n).map(|i| distance_sq(data.row(i), centroids.row(assignments[i]))).sum();

@@ -107,6 +107,10 @@ pub struct SimPoints {
     pub total_insts: u64,
     /// BIC score per candidate k (diagnostics).
     pub bic_scores: Vec<f64>,
+    /// Cluster assignment of every profiled interval (indexed like the
+    /// input interval list). This is the interval -> phase map accuracy
+    /// attribution aggregates over.
+    pub assignments: Vec<usize>,
 }
 
 impl SimPoints {
@@ -235,7 +239,14 @@ pub fn select(intervals: &[Interval], cfg: &SimPointConfig) -> SimPoints {
     }
     points.sort_by_key(|p| p.start);
 
-    SimPoints { points, k, num_intervals: intervals.len(), total_insts, bic_scores: scores }
+    SimPoints {
+        points,
+        k,
+        num_intervals: intervals.len(),
+        total_insts,
+        bic_scores: scores,
+        assignments: result.assignments,
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +369,19 @@ mod tests {
         let sp = select(&two_phase_intervals(), &cfg);
         assert_eq!(sp.points.len(), 1);
         assert!((sp.points[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignments_cover_every_interval() {
+        let ivs = two_phase_intervals();
+        let sp = select(&ivs, &SimPointConfig::fine_10m());
+        assert_eq!(sp.assignments.len(), ivs.len());
+        assert!(sp.assignments.iter().all(|&a| a < sp.k));
+        // A representative's own interval belongs to the cluster it
+        // represents.
+        for p in &sp.points {
+            assert_eq!(sp.assignments[p.interval], p.cluster);
+        }
     }
 
     #[test]

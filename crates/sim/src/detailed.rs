@@ -23,7 +23,7 @@
 //! staying fast enough to ground-truth whole benchmarks.
 
 use crate::branch::BranchUnit;
-use crate::cache::MemoryHierarchy;
+use crate::cache::{HierarchyAccess, MemoryHierarchy};
 use crate::config::MachineConfig;
 use crate::metrics::SimMetrics;
 use mlpa_isa::stream::InstructionStream;
@@ -223,6 +223,7 @@ impl<'p> DetailedSim<'p> {
         m.branches = self.branch.predictions();
         m.mispredicts = self.branch.mispredictions();
         if mlpa_obs::is_enabled() {
+            tally.finish_runs();
             mlpa_obs::add("sim.instructions", m.instructions);
             mlpa_obs::add("sim.cycles", m.cycles);
             mlpa_obs::add("sim.l1d.hits", m.l1d_hits);
@@ -238,6 +239,17 @@ impl<'p> DetailedSim<'p> {
             mlpa_obs::add("sim.rob.samples", tally.samples);
             mlpa_obs::add("sim.rob.occupancy_sum", tally.rob_occupancy);
             mlpa_obs::add("sim.lsq.occupancy_sum", tally.lsq_occupancy);
+            // Warmup-bias counters: misses concentrated in the first
+            // 8192-instruction window of each detailed region measure
+            // how much cold/warm start state skews short samples.
+            mlpa_obs::add("sim.warmup.windows", tally.warmup_windows);
+            mlpa_obs::add("sim.warmup.early_insts", tally.warmup_windows * 8192);
+            mlpa_obs::add("sim.warmup.early_l1d_misses", tally.warmup_l1d_misses);
+            mlpa_obs::add("sim.warmup.early_l2_misses", tally.warmup_l2_misses);
+            mlpa_obs::hist_merge("sim.rob.occupancy", "n", &tally.rob);
+            mlpa_obs::hist_merge("sim.lsq.occupancy", "n", &tally.lsq);
+            mlpa_obs::hist_merge("sim.l1d.miss_run", "n", &tally.l1d_runs);
+            mlpa_obs::hist_merge("sim.l2.miss_run", "n", &tally.l2_runs);
         }
         m
     }
@@ -303,6 +315,9 @@ impl<'p> DetailedSim<'p> {
                 OpClass::Load => {
                     m.loads += 1;
                     let acc = self.hier.data_access(inst.addr, false);
+                    if mlpa_obs::is_enabled() {
+                        tally.data_access(acc);
+                    }
                     issue + 1 + u64::from(acc.latency)
                 }
                 OpClass::Store => {
@@ -310,7 +325,10 @@ impl<'p> DetailedSim<'p> {
                     // Stores retire through the store buffer; the cache
                     // is updated but its latency is off the critical
                     // path.
-                    let _ = self.hier.data_access(inst.addr, true);
+                    let acc = self.hier.data_access(inst.addr, true);
+                    if mlpa_obs::is_enabled() {
+                        tally.data_access(acc);
+                    }
                     issue + 1
                 }
                 op => issue + u64::from(op.latency()),
@@ -360,20 +378,85 @@ impl<'p> DetailedSim<'p> {
             // block (and `tally`) is eliminated.
             if m.instructions & 8191 == 0 && mlpa_obs::is_enabled() {
                 tally.samples += 1;
-                tally.rob_occupancy += Self::in_flight(&self.rob_ring, dispatch);
-                tally.lsq_occupancy += Self::in_flight(&self.lsq_ring, dispatch);
+                let rob = Self::in_flight(&self.rob_ring, dispatch);
+                let lsq = Self::in_flight(&self.lsq_ring, dispatch);
+                tally.rob_occupancy += rob;
+                tally.lsq_occupancy += lsq;
+                tally.rob.record(rob);
+                tally.lsq.record(lsq);
+                if tally.samples == 1 {
+                    // End of the first 8192-instruction window: the
+                    // misses so far are the region's warmup bias.
+                    tally.warmup_windows = 1;
+                    tally.warmup_l1d_misses = self.hier.l1d().misses();
+                    tally.warmup_l2_misses = self.hier.l2().misses();
+                }
             }
         }
     }
 }
 
-/// Per-`simulate` occupancy-sample accumulator, flushed to the obs
-/// counters once at the end of the call.
+/// Per-`simulate` obs accumulator (occupancy samples, cache miss-run
+/// lengths, warmup-bias miss counts), flushed to the obs counters and
+/// histograms once at the end of the call. With the obs feature
+/// compiled out the `HistTally` fields are zero-sized and every use is
+/// behind a constant-false `is_enabled()`, so the whole struct folds
+/// away.
 #[derive(Debug, Default)]
 struct ObsTally {
     samples: u64,
     rob_occupancy: u64,
     lsq_occupancy: u64,
+    rob: mlpa_obs::HistTally,
+    lsq: mlpa_obs::HistTally,
+    /// Length of the in-progress consecutive L1D-miss run.
+    l1d_run: u64,
+    /// Length of the in-progress consecutive L2-miss run (counted over
+    /// accesses that reach the L2, i.e. L1D misses).
+    l2_run: u64,
+    l1d_runs: mlpa_obs::HistTally,
+    l2_runs: mlpa_obs::HistTally,
+    warmup_windows: u64,
+    warmup_l1d_misses: u64,
+    warmup_l2_misses: u64,
+}
+
+impl ObsTally {
+    /// Track consecutive-miss run lengths per level. A hit at a level
+    /// closes that level's open run; L1 hits leave the L2 run untouched
+    /// because the access never reached the L2.
+    #[inline]
+    fn data_access(&mut self, acc: HierarchyAccess) {
+        if acc.l1_hit {
+            if self.l1d_run > 0 {
+                self.l1d_runs.record(self.l1d_run);
+                self.l1d_run = 0;
+            }
+        } else {
+            self.l1d_run += 1;
+            if acc.l2_hit {
+                if self.l2_run > 0 {
+                    self.l2_runs.record(self.l2_run);
+                    self.l2_run = 0;
+                }
+            } else {
+                self.l2_run += 1;
+            }
+        }
+    }
+
+    /// Close any still-open miss runs at the end of the region so run
+    /// totals cover every miss.
+    fn finish_runs(&mut self) {
+        if self.l1d_run > 0 {
+            self.l1d_runs.record(self.l1d_run);
+            self.l1d_run = 0;
+        }
+        if self.l2_run > 0 {
+            self.l2_runs.record(self.l2_run);
+            self.l2_run = 0;
+        }
+    }
 }
 
 #[cfg(test)]

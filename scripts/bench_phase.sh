@@ -4,7 +4,9 @@
 # Runs the substrate microbenchmarks (full sample counts) and writes
 # results/BENCH_phase.json: per-bench min/mean/max timings plus the
 # derived current-vs-naive speedups for the clustering pipeline, the
-# BIC sweep, and the k-means kernel. See EXPERIMENTS.md, "Bench
+# BIC sweep, and the k-means kernel. The same run appends a snapshot to
+# the top-level BENCH.json perf trajectory (label it with
+# MLPA_BENCH_LABEL, e.g. the PR name). See EXPERIMENTS.md, "Bench
 # baseline workflow".
 #
 # Usage: scripts/bench_phase.sh [output.json]
@@ -13,10 +15,11 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-results/BENCH_phase.json}"
 # cargo runs bench binaries with the package dir as cwd; hand the
-# binary an absolute path so the output lands at the repo root.
+# binary absolute paths so the outputs land at the repo root.
 case "$out" in
 /*) ;;
 *) out="$(pwd)/$out" ;;
 esac
 
-MLPA_BENCH_JSON="$out" cargo bench -p mlpa-bench --bench substrate_microbench
+MLPA_BENCH_JSON="$out" MLPA_BENCH_TRAJECTORY="$(pwd)/BENCH.json" \
+    cargo bench -p mlpa-bench --bench substrate_microbench
