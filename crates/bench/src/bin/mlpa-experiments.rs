@@ -25,6 +25,12 @@
 //!   --ratio R         cost-model ratio c_d/c_f (default: paper 32.5)
 //!   --measured-ratio  also report speedups at the measured ratio
 //!   --out DIR         output directory (default: results)
+//!   --cache DIR       record pipeline artifacts (profiles, selections,
+//!                     ground truths, plan executions) into a crash-safe
+//!                     content-addressed store at DIR
+//!   --resume          with --cache: also *reuse* stored artifacts, so a
+//!                     repeated or interrupted run skips completed work;
+//!                     results are bit-identical to an uncached run
 //!   --quiet           errors only on stderr (tables still print)
 //!   --verbose         extra per-step detail on stderr
 //!   --progress        per-benchmark progress lines even under --quiet
@@ -52,6 +58,8 @@ struct Options {
     ratio: f64,
     measured_ratio: bool,
     out: PathBuf,
+    cache: Option<PathBuf>,
+    resume: bool,
     quiet: bool,
     verbose: bool,
     progress: bool,
@@ -70,6 +78,8 @@ fn parse_args() -> Result<Options, String> {
         ratio: 32.5,
         measured_ratio: false,
         out: PathBuf::from("results"),
+        cache: None,
+        resume: false,
         quiet: false,
         verbose: false,
         progress: false,
@@ -118,6 +128,8 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--ratio: {e}"))?;
             }
             "--out" => o.out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--cache" => o.cache = Some(PathBuf::from(args.next().ok_or("--cache needs a value")?)),
+            "--resume" => o.resume = true,
             "--help" | "-h" => {
                 println!("see the module docs at the top of mlpa-experiments.rs");
                 std::process::exit(0);
@@ -147,6 +159,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if o.quiet && o.verbose {
         return Err("--quiet and --verbose are mutually exclusive".into());
+    }
+    if o.resume && o.cache.is_none() {
+        return Err("--resume needs --cache DIR (there is nothing to resume from)".into());
     }
     if o.commands.is_empty() {
         o.commands.push("all".into());
@@ -251,10 +266,25 @@ fn run(o: &Options) -> Result<(), String> {
         if suite.is_empty() {
             return Err(format!("--select {} matched no benchmarks", o.select.join(",")));
         }
+        let cache = match &o.cache {
+            Some(dir) => {
+                let mut c = mlpa_core::ArtifactCache::open(dir)?;
+                c.set_reuse(o.resume);
+                info!(
+                    "cache",
+                    "artifact cache at {} ({})",
+                    dir.display(),
+                    if o.resume { "resume: reusing stored artifacts" } else { "record only" }
+                );
+                Some(std::sync::Arc::new(c))
+            }
+            None => None,
+        };
         let exp = harness::Experiment {
             suite,
             warmup: if o.cold { WarmupMode::Cold } else { WarmupMode::Warmed },
             jobs: o.jobs,
+            cache: cache.clone(),
             ..harness::Experiment::default()
         };
         info!(
@@ -273,6 +303,16 @@ fn run(o: &Options) -> Result<(), String> {
             );
         })?;
         vlog!("suite", "all benchmarks complete; building reports");
+        if cache.is_some() && mlpa_obs::is_enabled() {
+            info!(
+                "cache",
+                "artifact cache: {} hits, {} misses, {} stores, {} verify failures",
+                mlpa_obs::counter_value("core.cache.hits"),
+                mlpa_obs::counter_value("core.cache.misses"),
+                mlpa_obs::counter_value("core.cache.stores"),
+                mlpa_obs::counter_value("core.cache.verify_failures"),
+            );
+        }
 
         let mut models = vec![("paper-implied".to_owned(), CostModel::from_ratio(o.ratio))];
         if o.measured_ratio {

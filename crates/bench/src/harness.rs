@@ -4,8 +4,8 @@
 
 use mlpa_core::prelude::*;
 use mlpa_core::{
-    attribute_segments, ground_truth_segmented, AccuracyAttribution, CoastsOutcome, FineOutcome,
-    MultilevelOutcome,
+    attribute_segments, execute_plan_cached, ground_truth_cached, ground_truth_segmented_cached,
+    AccuracyAttribution, CoastsOutcome, FineOutcome, MultilevelOutcome,
 };
 use mlpa_sim::{MachineConfig, MetricDeviation, MetricEstimate, SimMetrics};
 use mlpa_workloads::{BenchmarkSpec, CompiledBenchmark, Suite};
@@ -99,6 +99,11 @@ pub struct Experiment {
     /// default), `0` = every available core, `n` = a pool of `n`.
     /// Results are bit-identical for every value.
     pub jobs: usize,
+    /// Optional artifact cache: profiling passes, selections, ground
+    /// truths, and plan executions consult and populate it, so a
+    /// repeated or resumed run skips completed work. Results are
+    /// bit-identical with and without a cache.
+    pub cache: Option<std::sync::Arc<mlpa_core::ArtifactCache>>,
 }
 
 impl Default for Experiment {
@@ -112,6 +117,7 @@ impl Default for Experiment {
             fine: SimPointConfig::fine_10m(),
             fine_interval: FINE_INTERVAL,
             jobs: 1,
+            cache: None,
         }
     }
 }
@@ -153,6 +159,9 @@ impl Experiment {
         // the boundary pass runs once, and multi-level reuses the
         // COASTS selection instead of recomputing it.
         let mut ctx = ProfilingContext::new(&cb, self.coasts.projection, self.fine_interval);
+        if let Some(cache) = &self.cache {
+            ctx.set_cache(cache.clone());
+        }
         ctx.prepare();
         let fine: FineOutcome = simpoint_baseline_with(&mut ctx, &self.fine)?;
         let co: CoastsOutcome = coasts_with(&mut ctx, &self.coasts)?;
@@ -171,19 +180,20 @@ impl Experiment {
         let mut segments_a: Vec<SimMetrics> = Vec::new();
         let mut coasts_outcome_a = None;
         for (ci, config) in self.configs.iter().enumerate() {
+            let cache = self.cache.as_deref();
             let truth = if ci == 0 {
-                segments_a = ground_truth_segmented(&cb, config, &lens);
+                segments_a = ground_truth_segmented_cached(cache, &cb, config, &lens);
                 let mut whole = SimMetrics::default();
                 for s in &segments_a {
                     whole += *s;
                 }
                 whole.estimate()
             } else {
-                ground_truth(&cb, config).estimate()
+                ground_truth_cached(cache, &cb, config).estimate()
             };
             truths[ci] = truth;
             for (mi, plan) in [&fine.plan, &co.plan, &ml.plan].into_iter().enumerate() {
-                let out = execute_plan(&cb, config, plan, self.warmup);
+                let out = execute_plan_cached(cache, &cb, config, plan, self.warmup, 1);
                 let est = out.estimate;
                 if ci == 0 && mi == 1 {
                     coasts_outcome_a = Some(out);

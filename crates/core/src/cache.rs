@@ -1,0 +1,409 @@
+//! Content-addressed, crash-safe on-disk cache for pipeline artifacts.
+//!
+//! The paper's premise is amortization — profile and cluster once,
+//! re-execute the cheap plan across many machine configurations — and
+//! this module is what makes that amortization survive process
+//! boundaries. Every expensive stage (profiling passes, SimPoint /
+//! COASTS / multi-level selection, ground-truth simulation, plan
+//! execution) can store its product here and skip recomputation on the
+//! next run.
+//!
+//! # Key derivation
+//!
+//! An entry is addressed by a [`CacheKey`]: the concatenated `Debug`
+//! renderings of everything the artifact depends on (benchmark spec
+//! including scale, projection seed/dim, clustering config, machine
+//! config, ...), plus the artifact kind and the cache schema version.
+//! Derived `Debug` prints every field, so any config change — including
+//! a field added in a future version — changes the key material. The
+//! material is hashed (2 × FNV-1a 64) to name the file, and the *full*
+//! material string is stored inside the entry and compared on load, so
+//! a hash collision degrades to a miss, never to wrong data.
+//!
+//! # Integrity model
+//!
+//! Writes are crash-safe: the entry is written to a temp file in the
+//! same directory, `fsync`ed, renamed over the final name, and the
+//! directory is `fsync`ed — a crash at any point leaves either the old
+//! entry or the new one, never a torn file. Reads verify the schema
+//! version, artifact kind, payload length, FNV-1a checksum, and the
+//! full key material; any mismatch deletes the entry and reports a
+//! miss, so corrupt or stale data is regenerated, never trusted.
+//!
+//! # Observability
+//!
+//! Lookups and stores run under `core.cache.get` / `core.cache.put`
+//! spans and maintain the `core.cache.{hits,misses,stores,
+//! verify_failures,evictions}` counters, so a run report shows exactly
+//! how warm a run was and the obs-diff gate can pin cache determinism.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::artifact::{Artifact, Dec, Enc};
+
+/// Schema version baked into every key and entry header. Bump when the
+/// artifact encoding changes; old entries then verify-fail and are
+/// regenerated.
+pub const CACHE_SCHEMA: &str = "mlpa-cache-v1";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    fnv1a(bytes, FNV_OFFSET)
+}
+
+/// Key material for one cache entry: `label=Debug;` fields appended in
+/// order. Everything an artifact's content depends on must be pushed
+/// here — the cache never guesses at invalidation.
+#[derive(Debug, Clone, Default)]
+pub struct CacheKey {
+    material: String,
+}
+
+impl CacheKey {
+    /// Start an empty key (the schema version is added by the store).
+    pub fn new() -> CacheKey {
+        CacheKey::default()
+    }
+
+    /// Append one dependency as its `Debug` rendering.
+    pub fn field<T: std::fmt::Debug + ?Sized>(mut self, label: &str, value: &T) -> CacheKey {
+        let _ = write!(self.material, "{label}={value:?};");
+        self
+    }
+
+    /// The accumulated key material.
+    pub fn material(&self) -> &str {
+        &self.material
+    }
+}
+
+/// Write `bytes` to `path` crash-safely: temp file in the same
+/// directory, `fsync`, atomic rename, then `fsync` of the directory.
+/// Readers observe either the previous contents or the new contents in
+/// full — never a torn write.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| format!("{} has no file name", path.display()))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = (|| -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = write {
+        let _ = fs::remove_file(&tmp);
+        return Err(format!("writing {}: {e}", tmp.display()));
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(format!("renaming into {}: {e}", path.display()));
+    }
+    // Make the rename itself durable; best-effort (some filesystems
+    // reject directory fsync, and the data write above already synced).
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// A content-addressed artifact store rooted at one directory.
+///
+/// Cloneable handles are shared via `Arc`; the store itself is
+/// stateless beyond its root and is safe to use from the parallel
+/// suite workers (keys for distinct benchmarks never collide, and
+/// same-key races resolve through the atomic rename).
+#[derive(Debug)]
+pub struct ArtifactCache {
+    root: PathBuf,
+    reuse: bool,
+}
+
+impl ArtifactCache {
+    /// Open (creating if needed) a cache rooted at `root`. Entries are
+    /// both written and reused; see [`ArtifactCache::set_reuse`].
+    pub fn open(root: impl Into<PathBuf>) -> Result<ArtifactCache, String> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| format!("creating cache dir {}: {e}", root.display()))?;
+        Ok(ArtifactCache { root, reuse: true })
+    }
+
+    /// Control whether lookups may return stored entries. With reuse
+    /// off the cache is record-only: every lookup misses (and is
+    /// counted as a miss) but stores still happen — this is
+    /// `mlpa-experiments --cache` without `--resume`.
+    pub fn set_reuse(&mut self, reuse: bool) {
+        self.reuse = reuse;
+    }
+
+    /// Whether lookups may return stored entries.
+    pub fn reuse(&self) -> bool {
+        self.reuse
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, kind: &str, material: &str) -> PathBuf {
+        // Two independent FNV-1a passes give a 128-bit name; the full
+        // key material is verified on load, so a collision is a miss.
+        let mut h1 = fnv1a(kind.as_bytes(), FNV_OFFSET);
+        h1 = fnv1a(material.as_bytes(), h1);
+        let mut h2 = fnv1a(kind.as_bytes(), FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15);
+        h2 = fnv1a(material.as_bytes(), h2);
+        self.root.join(kind).join(format!("{h1:016x}{h2:016x}.art"))
+    }
+
+    /// Look up an artifact. Returns `None` on a miss, when reuse is
+    /// disabled, or when the stored entry fails verification (in which
+    /// case the entry is deleted so it is regenerated, never trusted).
+    pub fn get<A: Artifact>(&self, key: &CacheKey) -> Option<A> {
+        let _span = mlpa_obs::span("core.cache.get");
+        let path = self.path_for(A::KIND, key.material());
+        if !self.reuse {
+            mlpa_obs::add("core.cache.misses", 1);
+            return None;
+        }
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                mlpa_obs::add("core.cache.misses", 1);
+                return None;
+            }
+        };
+        match verify_and_decode::<A>(&text, key.material()) {
+            Ok(a) => {
+                mlpa_obs::add("core.cache.hits", 1);
+                Some(a)
+            }
+            Err(e) => {
+                mlpa_obs::add("core.cache.verify_failures", 1);
+                mlpa_obs::add("core.cache.misses", 1);
+                if fs::remove_file(&path).is_ok() {
+                    mlpa_obs::add("core.cache.evictions", 1);
+                }
+                mlpa_obs::vlog!("cache", "discarding bad entry {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Store an artifact crash-safely. Failures are logged and counted
+    /// but do not abort the pipeline — a cache that cannot be written
+    /// degrades to recomputation, not to an error.
+    pub fn put<A: Artifact>(&self, key: &CacheKey, value: &A) {
+        let _span = mlpa_obs::span("core.cache.put");
+        let mut enc = Enc::new();
+        value.encode(&mut enc);
+        let payload = enc.finish();
+        let entry = format!(
+            "# {CACHE_SCHEMA} kind={} len={} sum={:016x}\nkey={}\n{payload}",
+            A::KIND,
+            payload.len(),
+            checksum(payload.as_bytes()),
+            key.material(),
+        );
+        let path = self.path_for(A::KIND, key.material());
+        if let Some(dir) = path.parent() {
+            if let Err(e) = fs::create_dir_all(dir) {
+                mlpa_obs::elog!("cache", "cannot create {}: {e}", dir.display());
+                return;
+            }
+        }
+        match atomic_write(&path, entry.as_bytes()) {
+            Ok(()) => mlpa_obs::add("core.cache.stores", 1),
+            Err(e) => mlpa_obs::elog!("cache", "store failed: {e}"),
+        }
+    }
+}
+
+fn verify_and_decode<A: Artifact>(text: &str, material: &str) -> Result<A, String> {
+    let (header, rest) = text.split_once('\n').ok_or("missing entry header")?;
+    let mut toks = header.split_whitespace();
+    if toks.next() != Some("#") {
+        return Err("bad header prefix".into());
+    }
+    if toks.next() != Some(CACHE_SCHEMA) {
+        return Err(format!("schema is not {CACHE_SCHEMA}"));
+    }
+    let mut kind = None;
+    let mut len = None;
+    let mut sum = None;
+    for t in toks {
+        if let Some(v) = t.strip_prefix("kind=") {
+            kind = Some(v);
+        } else if let Some(v) = t.strip_prefix("len=") {
+            len = v.parse::<usize>().ok();
+        } else if let Some(v) = t.strip_prefix("sum=") {
+            sum = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    if kind != Some(A::KIND) {
+        return Err(format!("kind {kind:?} is not {:?}", A::KIND));
+    }
+    let len = len.ok_or("missing/bad len")?;
+    let sum = sum.ok_or("missing/bad sum")?;
+    let (key_line, payload) = rest.split_once('\n').ok_or("missing key line")?;
+    let stored = key_line.strip_prefix("key=").ok_or("missing key prefix")?;
+    if stored != material {
+        return Err("key material mismatch (hash collision or stale entry)".into());
+    }
+    if payload.len() != len {
+        return Err(format!("payload is {} bytes, header says {len}", payload.len()));
+    }
+    let got = checksum(payload.as_bytes());
+    if got != sum {
+        return Err(format!("checksum {got:016x} does not match header {sum:016x}"));
+    }
+    let mut dec = Dec::new(payload);
+    let value = A::decode(&mut dec)?;
+    dec.done()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanPoint, SimulationPlan};
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mlpa-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_plan() -> SimulationPlan {
+        SimulationPlan::new(
+            vec![
+                PlanPoint { start: 0, len: 100, weight: 0.125 },
+                PlanPoint { start: 300, len: 100, weight: 0.875 },
+            ],
+            1000,
+        )
+        .unwrap()
+    }
+
+    fn entry_path(cache: &ArtifactCache, key: &CacheKey) -> PathBuf {
+        cache.path_for(SimulationPlan::KIND, key.material())
+    }
+
+    #[test]
+    fn store_and_reload() {
+        let root = tmp_root("roundtrip");
+        let cache = ArtifactCache::open(&root).unwrap();
+        let key = CacheKey::new().field("spec", "bench-a").field("n", &7u64);
+        assert_eq!(cache.get::<SimulationPlan>(&key), None);
+        let plan = sample_plan();
+        cache.put(&key, &plan);
+        assert_eq!(cache.get::<SimulationPlan>(&key), Some(plan));
+        // A different key misses even with entries present.
+        let other = CacheKey::new().field("spec", "bench-b").field("n", &7u64);
+        assert_eq!(cache.get::<SimulationPlan>(&other), None);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reuse_off_is_record_only() {
+        let root = tmp_root("record");
+        let mut cache = ArtifactCache::open(&root).unwrap();
+        cache.set_reuse(false);
+        let key = CacheKey::new().field("spec", "bench-a");
+        let plan = sample_plan();
+        cache.put(&key, &plan);
+        assert_eq!(cache.get::<SimulationPlan>(&key), None, "record-only must not reuse");
+        cache.set_reuse(true);
+        assert_eq!(cache.get::<SimulationPlan>(&key), Some(plan));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entries_are_discarded_and_regenerated() {
+        let root = tmp_root("corrupt");
+        let cache = ArtifactCache::open(&root).unwrap();
+        let key = CacheKey::new().field("spec", "bench-a");
+        let plan = sample_plan();
+
+        // Bit flip in the payload.
+        cache.put(&key, &plan);
+        let path = entry_path(&cache, &key);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.get::<SimulationPlan>(&key), None, "bit flip must be rejected");
+        assert!(!path.exists(), "corrupt entry must be deleted");
+
+        // Regeneration works after eviction.
+        cache.put(&key, &plan);
+        assert_eq!(cache.get::<SimulationPlan>(&key), Some(plan.clone()));
+
+        // Truncation.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(cache.get::<SimulationPlan>(&key), None, "truncation must be rejected");
+        assert!(!path.exists());
+
+        // Version mismatch.
+        cache.put(&key, &plan);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replacen(CACHE_SCHEMA, "mlpa-cache-v0", 1)).unwrap();
+        assert_eq!(cache.get::<SimulationPlan>(&key), None, "old schema must be rejected");
+        assert!(!path.exists());
+
+        // Key-material mismatch (simulated hash collision): an entry
+        // whose file name matches but whose key line differs.
+        cache.put(&key, &plan);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replacen("spec=\"bench-a\"", "spec=\"bench-x\"", 1)).unwrap();
+        assert_eq!(cache.get::<SimulationPlan>(&key), None, "foreign key must be rejected");
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp_files() {
+        let root = tmp_root("atomic");
+        fs::create_dir_all(&root).unwrap();
+        let path = root.join("f.txt");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = fs::read_dir(&root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "f.txt")
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

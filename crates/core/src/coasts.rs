@@ -17,6 +17,7 @@
 //! time: the last coarse point sits at ~17 % of the run on average
 //! (paper §III-B), versus ~94 % for fine-grained SimPoint.
 
+use crate::cache::CacheKey;
 use crate::pipeline::{ProfilingContext, ProjectionSettings, FINE_INTERVAL};
 use crate::plan::SimulationPlan;
 use mlpa_phase::interval::Interval;
@@ -111,6 +112,13 @@ pub fn coasts_with(
 ) -> Result<CoastsOutcome, String> {
     let _span = mlpa_obs::span("core.select.coasts");
     let cb = ctx.benchmark();
+    let cache = ctx.cache();
+    let key = cache.as_ref().map(|_| CacheKey::new().field("spec", cb.spec()).field("coasts", cfg));
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        if let Some(out) = c.get::<CoastsOutcome>(k) {
+            return Ok(out);
+        }
+    }
     // Pass 1: boundary information.
     let profile = ctx.loop_profile().clone();
     let header = profile
@@ -144,7 +152,11 @@ pub fn coasts_with(
         .collect();
     let plan = SimulationPlan::new(points, total_insts)?;
     let intervals = intervals.to_vec();
-    Ok(CoastsOutcome { plan, simpoints, intervals, profile, header, body_start })
+    let out = CoastsOutcome { plan, simpoints, intervals, profile, header, body_start };
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        c.put(k, &out);
+    }
+    Ok(out)
 }
 
 /// Coarse-grained sampling classifies *iteration instances only*: the

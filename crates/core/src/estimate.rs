@@ -9,6 +9,7 @@
 //! is defined as *functional warming of the whole prefix* — a property
 //! each worker can reconstruct on its own from the start of the trace.
 
+use crate::cache::{ArtifactCache, CacheKey};
 use crate::plan::SimulationPlan;
 use mlpa_sim::functional::Warming;
 use mlpa_sim::{
@@ -371,6 +372,8 @@ fn combine(plan: &SimulationPlan, runs: Vec<PointRun>) -> ExecutionOutcome {
 /// Simulate the entire benchmark in detail — the ground truth the
 /// paper's Table II deviations are measured against.
 pub fn ground_truth(cb: &CompiledBenchmark, config: &MachineConfig) -> SimMetrics {
+    let _span = mlpa_obs::span("core.truth.full");
+    mlpa_obs::add("core.truth.passes", 1);
     let mut sim = DetailedSim::new(*config, cb.program());
     sim.simulate(&mut WorkloadStream::new(cb), u64::MAX)
 }
@@ -394,6 +397,7 @@ pub fn ground_truth_segmented(
     lens: &[u64],
 ) -> Vec<SimMetrics> {
     let _span = mlpa_obs::span("core.truth.segmented");
+    mlpa_obs::add("core.truth.passes", 1);
     let mut sim = DetailedSim::new(*config, cb.program());
     let mut stream = WorkloadStream::new(cb);
     let mut pos = 0u64;
@@ -406,6 +410,117 @@ pub fn ground_truth_segmented(
             m
         })
         .collect()
+}
+
+/// [`ground_truth`] behind the artifact cache: reuse a stored result
+/// when the cache holds one, simulate (and store) otherwise. With
+/// `cache = None` this is exactly [`ground_truth`].
+pub fn ground_truth_cached(
+    cache: Option<&ArtifactCache>,
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+) -> SimMetrics {
+    let key = cache.map(|_| CacheKey::new().field("spec", cb.spec()).field("config", config));
+    if let (Some(c), Some(k)) = (cache, &key) {
+        if let Some(m) = c.get::<SimMetrics>(k) {
+            return m;
+        }
+    }
+    let m = ground_truth(cb, config);
+    if let (Some(c), Some(k)) = (cache, &key) {
+        c.put(k, &m);
+    }
+    m
+}
+
+/// [`ground_truth_segmented`] behind the artifact cache. The segment
+/// boundaries are part of the key, so the same benchmark measured with
+/// different `lens` gets distinct entries.
+pub fn ground_truth_segmented_cached(
+    cache: Option<&ArtifactCache>,
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+    lens: &[u64],
+) -> Vec<SimMetrics> {
+    let key = cache.map(|_| {
+        CacheKey::new().field("spec", cb.spec()).field("config", config).field("lens", &lens)
+    });
+    if let (Some(c), Some(k)) = (cache, &key) {
+        if let Some(ms) = c.get::<Vec<SimMetrics>>(k) {
+            return ms;
+        }
+    }
+    let ms = ground_truth_segmented(cb, config, lens);
+    if let (Some(c), Some(k)) = (cache, &key) {
+        c.put(k, &ms);
+    }
+    ms
+}
+
+/// [`execute_plan_jobs`] behind the artifact cache. The key covers the
+/// benchmark, machine config, warmup mode, and the full plan contents;
+/// `jobs` is deliberately excluded because execution is bit-identical
+/// across worker counts (see [`execute_plan_jobs`]).
+pub fn execute_plan_cached(
+    cache: Option<&ArtifactCache>,
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+    plan: &SimulationPlan,
+    mode: WarmupMode,
+    jobs: usize,
+) -> ExecutionOutcome {
+    let key = cache.map(|_| {
+        CacheKey::new()
+            .field("spec", cb.spec())
+            .field("config", config)
+            .field("mode", &mode)
+            .field("plan", plan)
+    });
+    if let (Some(c), Some(k)) = (cache, &key) {
+        if let Some(out) = c.get::<ExecutionOutcome>(k) {
+            return out;
+        }
+    }
+    let out = execute_plan_jobs(cb, config, plan, mode, jobs);
+    if let (Some(c), Some(k)) = (cache, &key) {
+        c.put(k, &out);
+    }
+    out
+}
+
+/// Execute a plan that did not come from profiling this benchmark in
+/// this process — e.g. one loaded via [`crate::files::load`] — after
+/// verifying it actually belongs to this trace.
+///
+/// A plan file records only its `total=` instruction count, so nothing
+/// stops it from being replayed against a benchmark whose trace length
+/// differs; the weights would then silently misrepresent the program
+/// and produce wrong-but-plausible metrics. This entry point measures
+/// the stream's real length (one functional pass, see
+/// [`crate::pipeline::trace_insts`]) and refuses to execute on a
+/// mismatch.
+///
+/// # Errors
+///
+/// Returns an error naming both lengths when `plan.total_insts()` does
+/// not equal the benchmark's trace length.
+pub fn execute_plan_checked(
+    cb: &CompiledBenchmark,
+    config: &MachineConfig,
+    plan: &SimulationPlan,
+    mode: WarmupMode,
+    jobs: usize,
+) -> Result<ExecutionOutcome, String> {
+    let actual = crate::pipeline::trace_insts(cb);
+    if plan.total_insts() != actual {
+        return Err(format!(
+            "plan/trace mismatch: plan covers total={} instructions but benchmark {} \
+             generates {actual}; this plan belongs to a different benchmark or scale",
+            plan.total_insts(),
+            cb.spec().name,
+        ));
+    }
+    Ok(execute_plan_jobs(cb, config, plan, mode, jobs))
 }
 
 #[cfg(test)]
@@ -467,6 +582,76 @@ mod tests {
     fn ground_truth_len(cb: &CompiledBenchmark) -> u64 {
         let mut f = FunctionalSim::new(cb.program());
         f.run(WorkloadStream::new(cb), &mut ()).instructions
+    }
+
+    /// Regression (plan/trace mismatch): a plan saved from one
+    /// benchmark and loaded via `files::load` carries only `total=` in
+    /// its header, so nothing used to stop it from executing against a
+    /// benchmark whose trace length differs — silently misweighted,
+    /// wrong-but-plausible metrics. The checked entry point must refuse
+    /// the pair and accept the matching one.
+    #[test]
+    fn checked_execution_rejects_plan_from_different_benchmark() {
+        let short = cb();
+        let long = long_cb();
+        let plan = plan_of(&short, &[(0.1, 0.05, 0.5), (0.6, 0.05, 0.5)]);
+
+        // Round-trip through the on-disk format, as a real cross-run
+        // reuse would.
+        let dir = std::env::temp_dir().join("mlpa-checked-exec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.txt");
+        crate::files::save(&plan, &path).unwrap();
+        let loaded = crate::files::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let config = MachineConfig::table1_base();
+        let err = execute_plan_checked(&long, &config, &loaded, WarmupMode::Warmed, 1)
+            .expect_err("mismatched plan accepted");
+        assert!(err.contains("mismatch"), "unclear error: {err}");
+        assert!(
+            err.contains(&loaded.total_insts().to_string()),
+            "error must name the plan total: {err}"
+        );
+
+        // The matching benchmark executes and agrees with the unchecked
+        // path exactly.
+        let checked = execute_plan_checked(&short, &config, &loaded, WarmupMode::Warmed, 1)
+            .expect("matching plan rejected");
+        let unchecked = execute_plan(&short, &config, &loaded, WarmupMode::Warmed);
+        assert_eq!(checked, unchecked);
+    }
+
+    /// The cached execution wrappers are exact: a warm lookup returns
+    /// bit-identical results to the computation that stored it, and
+    /// `cache = None` degrades to the plain paths.
+    #[test]
+    fn cached_wrappers_roundtrip_exactly() {
+        let bench = cb();
+        let config = MachineConfig::table1_base();
+        let plan = plan_of(&bench, &[(0.1, 0.05, 0.5), (0.6, 0.05, 0.5)]);
+        let root =
+            std::env::temp_dir().join(format!("mlpa-estimate-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = crate::cache::ArtifactCache::open(&root).unwrap();
+        let c = Some(&cache);
+
+        let truth_cold = ground_truth_cached(c, &bench, &config);
+        let truth_warm = ground_truth_cached(c, &bench, &config);
+        assert_eq!(truth_cold, truth_warm);
+        assert_eq!(truth_cold, ground_truth_cached(None, &bench, &config));
+
+        let lens = [100_000u64, 100_000, 100_000];
+        let seg_cold = ground_truth_segmented_cached(c, &bench, &config, &lens);
+        let seg_warm = ground_truth_segmented_cached(c, &bench, &config, &lens);
+        assert_eq!(seg_cold, seg_warm);
+
+        let exec_cold = execute_plan_cached(c, &bench, &config, &plan, WarmupMode::Warmed, 1);
+        let exec_warm = execute_plan_cached(c, &bench, &config, &plan, WarmupMode::Warmed, 1);
+        assert_eq!(exec_cold, exec_warm);
+        assert_eq!(exec_cold, execute_plan(&bench, &config, &plan, WarmupMode::Warmed));
+
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -79,14 +79,17 @@ pub fn from_str(text: &str) -> Result<SimulationPlan, String> {
     SimulationPlan::new(points, total)
 }
 
-/// Write a plan to a file.
+/// Write a plan to a file, crash-safely.
+///
+/// Uses [`crate::cache::atomic_write`] (temp file + fsync + rename), so
+/// an interrupted save leaves the previous file intact instead of a
+/// torn, half-parseable plan.
 ///
 /// # Errors
 ///
 /// Returns the I/O error message.
 pub fn save(plan: &SimulationPlan, path: impl AsRef<Path>) -> Result<(), String> {
-    std::fs::write(path.as_ref(), to_string(plan))
-        .map_err(|e| format!("writing {}: {e}", path.as_ref().display()))
+    crate::cache::atomic_write(path.as_ref(), to_string(plan).as_bytes())
 }
 
 /// Read a plan from a file.
@@ -152,6 +155,52 @@ mod tests {
         let p = plan();
         save(&p, &path).unwrap();
         assert_eq!(load(&path).unwrap(), p);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_with_clear_error() {
+        let dir = std::env::temp_dir().join("mlpa-plan-truncated-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.txt");
+        let text = to_string(&plan());
+        // Simulate the torn write the atomic save prevents: every
+        // prefix that loses data (anything shorter than the full file
+        // minus its trailing newline) must fail to load — either a row
+        // is missing fields or the weights no longer sum to 1.
+        for cut in 0..text.len() - 1 {
+            std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+            let err = load(&path).expect_err("truncated plan accepted");
+            assert!(
+                err.contains("empty")
+                    || err.contains("bad header")
+                    || err.contains("bad total")
+                    || err.contains("missing")
+                    || err.contains("weights sum")
+                    || err.contains("non-positive weight")
+                    || err.contains("at least one"),
+                "unclear error for cut at {cut}: {err}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_existing_file_atomically() {
+        let dir = std::env::temp_dir().join("mlpa-plan-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.txt");
+        std::fs::write(&path, "garbage from a previous run").unwrap();
+        let p = plan();
+        save(&p, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), p);
+        // No temp droppings next to the plan.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "plan.txt")
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
         std::fs::remove_file(&path).ok();
     }
 

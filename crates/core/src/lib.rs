@@ -35,7 +35,9 @@
 //! # Ok::<(), String>(())
 //! ```
 
+pub mod artifact;
 pub mod attribution;
+pub mod cache;
 pub mod coasts;
 pub mod estimate;
 pub mod files;
@@ -46,19 +48,22 @@ pub mod stats;
 pub mod systematic;
 pub mod timing;
 
+pub use artifact::Artifact;
 pub use attribution::{
     attribute, attribute_segments, render_attribution_json, render_report, AccuracyAttribution,
     PhaseAttribution,
 };
+pub use cache::{atomic_write, ArtifactCache, CacheKey, CACHE_SCHEMA};
 pub use coasts::{coasts, coasts_with, CoastsConfig, CoastsOutcome};
 pub use estimate::{
-    effective_jobs, execute_plan, execute_plan_jobs, ground_truth, ground_truth_segmented,
+    effective_jobs, execute_plan, execute_plan_cached, execute_plan_checked, execute_plan_jobs,
+    ground_truth, ground_truth_cached, ground_truth_segmented, ground_truth_segmented_cached,
     panic_message, ExecutionCost, ExecutionOutcome, WarmupMode,
 };
 pub use multilevel::{multilevel, multilevel_with, MultilevelConfig, MultilevelOutcome};
 pub use pipeline::{
-    plan_from_points, simpoint_baseline, simpoint_baseline_with, FineOutcome, ProfilingContext,
-    ProjectionSettings, FINE_INTERVAL, RESAMPLE_THRESHOLD,
+    plan_from_points, simpoint_baseline, simpoint_baseline_with, trace_insts, FineOutcome,
+    ProfilingContext, ProjectionSettings, FINE_INTERVAL, RESAMPLE_THRESHOLD,
 };
 pub use plan::{PlanPoint, SimulationPlan};
 pub use timing::CostModel;

@@ -9,6 +9,7 @@
 //! inside a coarse point of weight `w_c` carries `w_c · w_f` in the
 //! whole-program estimate.
 
+use crate::cache::CacheKey;
 use crate::coasts::{coasts_with, CoastsConfig, CoastsOutcome};
 use crate::pipeline::{ProfilingContext, FINE_INTERVAL, RESAMPLE_THRESHOLD};
 use crate::plan::{PlanPoint, SimulationPlan};
@@ -107,6 +108,15 @@ pub fn multilevel_with(
     ctx: &mut ProfilingContext<'_>,
     cfg: &MultilevelConfig,
 ) -> Result<MultilevelOutcome, String> {
+    let cache = ctx.cache();
+    let key = cache
+        .as_ref()
+        .map(|_| CacheKey::new().field("spec", ctx.benchmark().spec()).field("multilevel", cfg));
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        if let Some(out) = c.get::<MultilevelOutcome>(k) {
+            return Ok(out);
+        }
+    }
     let first = coasts_with(ctx, &cfg.coasts)?;
     let _span = mlpa_obs::span("core.select.multilevel");
     let cb = ctx.benchmark();
@@ -165,7 +175,11 @@ pub fn multilevel_with(
 
     points.sort_by_key(|p| p.start);
     let plan = SimulationPlan::new(points, first.plan.total_insts())?;
-    Ok(MultilevelOutcome { plan, coasts: first, resampled })
+    let out = MultilevelOutcome { plan, coasts: first, resampled };
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        c.put(k, &out);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -265,6 +279,75 @@ mod tests {
         let a = multilevel(&big_iteration_cb(), &cfg).unwrap();
         let b = multilevel(&big_iteration_cb(), &cfg).unwrap();
         assert_eq!(a.plan, b.plan);
+    }
+
+    /// Edge case: a coarse point whose length is *exactly* the
+    /// threshold is kept whole (`len <= threshold` never re-samples),
+    /// and only strictly longer points are broken up. Pinned by running
+    /// the same benchmark with the threshold set at, and just below,
+    /// the longest coarse point.
+    #[test]
+    fn coarse_point_exactly_at_threshold_is_kept_whole() {
+        let cb = big_iteration_cb();
+        let coarse = multilevel(&cb, &MultilevelConfig::default()).unwrap().coasts;
+        let max_len = coarse.plan.points().iter().map(|p| p.len).max().unwrap();
+
+        // Threshold equal to the longest point: nothing may re-sample.
+        let cfg = MultilevelConfig { threshold: max_len, ..MultilevelConfig::default() };
+        let out = multilevel(&cb, &cfg).unwrap();
+        assert!(out.resampled.is_empty(), "len == threshold must stay whole");
+        assert_eq!(out.plan, out.coasts.plan);
+        let sum: f64 = out.plan.points().iter().map(|p| p.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-6, "weights sum to {sum}");
+        assert!(out.plan.detailed_insts() <= out.coasts.plan.detailed_insts());
+
+        // One instruction below: the longest point crosses the strict
+        // `>` boundary and must now be re-sampled.
+        let cfg = MultilevelConfig { threshold: max_len - 1, ..MultilevelConfig::default() };
+        let out = multilevel(&cb, &cfg).unwrap();
+        assert!(
+            out.resampled.iter().any(|r| r.coarse_len == max_len),
+            "len == threshold + 1 must re-sample"
+        );
+        assert!(
+            out.resampled.iter().all(|r| r.coarse_len > cfg.threshold),
+            "only strictly-above-threshold points re-sample"
+        );
+        let sum: f64 = out.plan.points().iter().map(|p| p.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-6, "weights sum to {sum}");
+        assert!(out.plan.detailed_insts() <= out.coasts.plan.detailed_insts());
+    }
+
+    /// Edge case: a re-sampled coarse point whose tail is shorter than
+    /// `fine_interval` (the window length is not a multiple of the fine
+    /// grid). The short trailing interval must not break weight
+    /// normalisation or the detail-volume bound, and any fine point
+    /// selected from it must stay inside the window.
+    #[test]
+    fn resampled_window_with_short_tail_interval() {
+        let cb = big_iteration_cb();
+        // 500 k-instruction iterations on a 7 k grid: 71 whole fine
+        // intervals plus a ~3 k tail.
+        let cfg = MultilevelConfig { fine_interval: 7_000, ..MultilevelConfig::default() };
+        let out = multilevel(&cb, &cfg).unwrap();
+        assert!(!out.resampled.is_empty(), "500k points must be re-sampled");
+        for r in &out.resampled {
+            assert!(
+                r.coarse_len % cfg.fine_interval != 0,
+                "precondition: window of {} must leave a short tail on the {} grid",
+                r.coarse_len,
+                cfg.fine_interval
+            );
+            for fp in &r.fine.points {
+                // Intervals are cut at block boundaries, so a point may
+                // overshoot the grid by at most one block.
+                assert!(fp.len <= cfg.fine_interval + 200, "fine point longer than the grid");
+                assert!(fp.start + fp.len <= r.coarse_len + 200, "fine point escapes window");
+            }
+        }
+        let sum: f64 = out.plan.points().iter().map(|p| p.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-6, "weights sum to {sum}");
+        assert!(out.plan.detailed_insts() <= out.coasts.plan.detailed_insts());
     }
 
     /// Regression: a re-sampled window holding *exactly two* fine

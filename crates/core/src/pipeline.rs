@@ -1,6 +1,10 @@
 //! Shared plumbing: projection settings, profiling passes, and the
 //! fine-grained (SimPoint-baseline) plan builder.
 
+use std::sync::Arc;
+
+use crate::artifact::BoundaryArtifact;
+use crate::cache::{ArtifactCache, CacheKey};
 use crate::plan::{PlanPoint, SimulationPlan};
 use mlpa_phase::interval::{BoundaryProfiler, FixedLengthProfiler, Interval};
 use mlpa_phase::loops::{LoopMonitor, LoopProfile};
@@ -84,6 +88,7 @@ pub struct ProfilingContext<'b> {
     loop_profile: Option<LoopProfile>,
     fine_intervals: Option<Vec<Interval>>,
     boundary: Option<BoundaryPass>,
+    cache: Option<Arc<ArtifactCache>>,
 }
 
 impl<'b> ProfilingContext<'b> {
@@ -102,12 +107,45 @@ impl<'b> ProfilingContext<'b> {
             loop_profile: None,
             fine_intervals: None,
             boundary: None,
+            cache: None,
         }
+    }
+
+    /// Attach an artifact cache: every profiling pass first consults it
+    /// and stores its product after computing. A warm cache makes all
+    /// of this context's passes no-ops.
+    pub fn set_cache(&mut self, cache: Arc<ArtifactCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached artifact cache, if any.
+    pub fn cache(&self) -> Option<Arc<ArtifactCache>> {
+        self.cache.clone()
     }
 
     /// The benchmark this context profiles.
     pub fn benchmark(&self) -> &'b CompiledBenchmark {
         self.cb
+    }
+
+    fn loop_key(&self) -> CacheKey {
+        // The loop profile depends only on the trace, not on the
+        // projection or interval length.
+        CacheKey::new().field("spec", self.cb.spec())
+    }
+
+    fn fine_key(&self) -> CacheKey {
+        CacheKey::new()
+            .field("spec", self.cb.spec())
+            .field("projection", &self.settings)
+            .field("interval", &self.fine_interval)
+    }
+
+    fn boundary_key(&self, header: mlpa_isa::BlockId) -> CacheKey {
+        CacheKey::new()
+            .field("spec", self.cb.spec())
+            .field("projection", &self.settings)
+            .field("header", &header.raw())
     }
 
     /// The shared projection matrix.
@@ -129,6 +167,17 @@ impl<'b> ProfilingContext<'b> {
         if self.loop_profile.is_some() && self.fine_intervals.is_some() {
             return;
         }
+        if let Some(cache) = &self.cache {
+            if self.loop_profile.is_none() {
+                self.loop_profile = cache.get::<LoopProfile>(&self.loop_key());
+            }
+            if self.fine_intervals.is_none() {
+                self.fine_intervals = cache.get::<Vec<Interval>>(&self.fine_key());
+            }
+            if self.loop_profile.is_some() && self.fine_intervals.is_some() {
+                return;
+            }
+        }
         let _span = mlpa_obs::span("core.profile.base_pass");
         mlpa_obs::add("core.profile.base_passes", 1);
         let mut monitor = LoopMonitor::new(self.cb.program());
@@ -138,18 +187,33 @@ impl<'b> ProfilingContext<'b> {
         let mut prof = FixedLengthProfiler::new(&self.projection, self.fine_interval);
         FunctionalSim::new(self.cb.program())
             .run(WorkloadStream::new(self.cb), &mut (&mut monitor, &mut prof));
-        self.loop_profile = Some(monitor.finish());
-        self.fine_intervals = Some(prof.finish());
+        let profile = monitor.finish();
+        let intervals = prof.finish();
+        if let Some(cache) = &self.cache {
+            cache.put(&self.loop_key(), &profile);
+            cache.put(&self.fine_key(), &intervals);
+        }
+        self.loop_profile = Some(profile);
+        self.fine_intervals = Some(intervals);
     }
 
     /// The loop (cyclic-structure) profile of the trace.
     pub fn loop_profile(&mut self) -> &LoopProfile {
         if self.loop_profile.is_none() {
+            if let Some(cache) = &self.cache {
+                self.loop_profile = cache.get::<LoopProfile>(&self.loop_key());
+            }
+        }
+        if self.loop_profile.is_none() {
             let _span = mlpa_obs::span("core.profile.loop_pass");
             mlpa_obs::add("core.profile.loop_passes", 1);
             let mut monitor = LoopMonitor::new(self.cb.program());
             FunctionalSim::new(self.cb.program()).run(WorkloadStream::new(self.cb), &mut monitor);
-            self.loop_profile = Some(monitor.finish());
+            let profile = monitor.finish();
+            if let Some(cache) = &self.cache {
+                cache.put(&self.loop_key(), &profile);
+            }
+            self.loop_profile = Some(profile);
         }
         self.loop_profile.as_ref().expect("just computed")
     }
@@ -157,8 +221,16 @@ impl<'b> ProfilingContext<'b> {
     /// Fixed-length intervals at the context's fine interval length.
     pub fn fine_intervals(&mut self) -> &[Interval] {
         if self.fine_intervals.is_none() {
-            self.fine_intervals =
-                Some(profile_fixed(self.cb, self.fine_interval, &self.projection));
+            if let Some(cache) = &self.cache {
+                self.fine_intervals = cache.get::<Vec<Interval>>(&self.fine_key());
+            }
+        }
+        if self.fine_intervals.is_none() {
+            let intervals = profile_fixed(self.cb, self.fine_interval, &self.projection);
+            if let Some(cache) = &self.cache {
+                cache.put(&self.fine_key(), &intervals);
+            }
+            self.fine_intervals = Some(intervals);
         }
         self.fine_intervals.as_ref().expect("just computed")
     }
@@ -169,16 +241,48 @@ impl<'b> ProfilingContext<'b> {
     pub fn boundary_intervals(&mut self, header: mlpa_isa::BlockId) -> (&[Interval], bool) {
         let stale = self.boundary.as_ref().is_none_or(|b| b.header != header);
         if stale {
+            if let Some(cache) = &self.cache {
+                if let Some(b) = cache.get::<BoundaryArtifact>(&self.boundary_key(header)) {
+                    self.boundary = Some(BoundaryPass {
+                        header: mlpa_isa::BlockId::new(b.header),
+                        has_prologue: b.has_prologue,
+                        intervals: b.intervals,
+                    });
+                }
+            }
+        }
+        let stale = self.boundary.as_ref().is_none_or(|b| b.header != header);
+        if stale {
             let _span = mlpa_obs::span("core.profile.boundary_pass");
             mlpa_obs::add("core.profile.boundary_passes", 1);
             let mut prof = BoundaryProfiler::new(&self.projection, header);
             FunctionalSim::new(self.cb.program()).run(WorkloadStream::new(self.cb), &mut prof);
             let has_prologue = prof.has_prologue();
-            self.boundary = Some(BoundaryPass { header, has_prologue, intervals: prof.finish() });
+            let intervals = prof.finish();
+            if let Some(cache) = &self.cache {
+                cache.put(
+                    &self.boundary_key(header),
+                    &BoundaryArtifact {
+                        header: header.raw(),
+                        has_prologue,
+                        intervals: intervals.clone(),
+                    },
+                );
+            }
+            self.boundary = Some(BoundaryPass { header, has_prologue, intervals });
         }
         let b = self.boundary.as_ref().expect("just computed");
         (&b.intervals, b.has_prologue)
     }
+}
+
+/// Measure a benchmark's exact trace length (total instruction count)
+/// with one functional drain of the stream. `CompiledBenchmark` does
+/// not record this statically, so plan/trace compatibility checks (see
+/// [`crate::estimate::execute_plan_checked`]) measure it here.
+pub fn trace_insts(cb: &CompiledBenchmark) -> u64 {
+    let _span = mlpa_obs::span("core.profile.trace_len");
+    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut ()).instructions
 }
 
 /// Profile a benchmark into fixed-length intervals (one functional
@@ -267,6 +371,13 @@ pub fn simpoint_baseline_with(
     cfg: &SimPointConfig,
 ) -> Result<FineOutcome, String> {
     let _span = mlpa_obs::span("core.select.fine");
+    let cache = ctx.cache();
+    let key = cache.as_ref().map(|_| ctx.fine_key().field("selection", cfg));
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        if let Some(out) = c.get::<FineOutcome>(k) {
+            return Ok(out);
+        }
+    }
     let interval_len = ctx.fine_interval;
     let intervals = ctx.fine_intervals();
     if intervals.is_empty() {
@@ -275,7 +386,11 @@ pub fn simpoint_baseline_with(
     mlpa_obs::add("core.profile.fine_intervals", intervals.len() as u64);
     let simpoints = select(intervals, cfg);
     let plan = plan_from_points(&simpoints)?;
-    Ok(FineOutcome { plan, simpoints, interval_len })
+    let out = FineOutcome { plan, simpoints, interval_len };
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        c.put(k, &out);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

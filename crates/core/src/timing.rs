@@ -47,29 +47,63 @@ impl CostModel {
     /// wall-clock-derived model. `sample_insts` instructions are run in
     /// each mode (clamped to the trace).
     ///
+    /// Simulator and stream construction happen *outside* the timed
+    /// windows — on short samples their setup cost would otherwise
+    /// inflate the measured per-instruction costs (and bias the ratio,
+    /// since `DetailedSim::new` is the heavier constructor). Each mode
+    /// is sampled [`Self::MEASURE_SAMPLES`] times and the best (minimum)
+    /// time is kept, the standard defense against scheduler noise and
+    /// one-shot cache-cold outliers.
+    ///
     /// # Panics
     ///
     /// Panics if `sample_insts` is zero.
     pub fn measure(cb: &CompiledBenchmark, config: &MachineConfig, sample_insts: u64) -> CostModel {
         assert!(sample_insts > 0, "sample_insts must be positive");
 
-        let t0 = std::time::Instant::now();
-        let mut func = FunctionalSim::new(cb.program());
-        let mut stream = WorkloadStream::new(cb);
-        let ran_f =
-            func.fast_forward(&mut stream, sample_insts, &mut (), mlpa_sim::Warming::None, None);
-        let func_time = t0.elapsed().as_secs_f64();
+        let mut func_best = f64::INFINITY;
+        let mut func_insts = 0u64;
+        for _ in 0..Self::MEASURE_SAMPLES {
+            let mut func = FunctionalSim::new(cb.program());
+            let mut stream = WorkloadStream::new(cb);
+            let t0 = std::time::Instant::now();
+            let ran = func.fast_forward(
+                &mut stream,
+                sample_insts,
+                &mut (),
+                mlpa_sim::Warming::None,
+                None,
+            );
+            let t = t0.elapsed().as_secs_f64();
+            if t < func_best {
+                func_best = t;
+                func_insts = ran;
+            }
+        }
 
-        let t1 = std::time::Instant::now();
-        let mut det = DetailedSim::new(*config, cb.program());
-        let m = det.simulate(&mut WorkloadStream::new(cb), sample_insts);
-        let det_time = t1.elapsed().as_secs_f64();
+        let mut det_best = f64::INFINITY;
+        let mut det_insts = 0u64;
+        for _ in 0..Self::MEASURE_SAMPLES {
+            let mut det = DetailedSim::new(*config, cb.program());
+            let mut stream = WorkloadStream::new(cb);
+            let t0 = std::time::Instant::now();
+            let m = det.simulate(&mut stream, sample_insts);
+            let t = t0.elapsed().as_secs_f64();
+            if t < det_best {
+                det_best = t;
+                det_insts = m.instructions;
+            }
+        }
 
         CostModel {
-            detailed_per_inst: det_time / m.instructions.max(1) as f64,
-            functional_per_inst: func_time / ran_f.max(1) as f64,
+            detailed_per_inst: det_best / det_insts.max(1) as f64,
+            functional_per_inst: func_best / func_insts.max(1) as f64,
         }
     }
+
+    /// Timing samples per mode in [`CostModel::measure`]; the minimum
+    /// is kept.
+    pub const MEASURE_SAMPLES: u32 = 3;
 
     /// The detailed/functional cost ratio `r`.
     pub fn ratio(&self) -> f64 {
@@ -162,8 +196,27 @@ mod tests {
         let spec = mlpa_workloads::suite::benchmark("gzip").unwrap().scaled(0.02);
         let cb = CompiledBenchmark::compile(&spec).unwrap();
         let m = CostModel::measure(&cb, &MachineConfig::table1_base(), 200_000);
-        assert!(m.ratio() > 1.0, "detailed must cost more than functional: r = {}", m.ratio());
-        assert!(m.ratio() < 10_000.0, "ratio {} implausible", m.ratio());
+        // With construction outside the timed windows and best-of-N
+        // sampling, the bounds can be meaningfully tighter than the
+        // old one-shot (1, 10_000) sanity check: a detailed cycle-level
+        // pass clearly costs more per instruction than a functional
+        // decode-and-count, and not by four orders of magnitude.
+        assert!(
+            m.detailed_per_inst.is_finite() && m.detailed_per_inst > 0.0,
+            "detailed cost must be positive: {}",
+            m.detailed_per_inst
+        );
+        assert!(
+            m.functional_per_inst.is_finite() && m.functional_per_inst > 0.0,
+            "functional cost must be positive: {}",
+            m.functional_per_inst
+        );
+        assert!(
+            m.ratio() > 1.5,
+            "detailed must cost clearly more than functional: r = {}",
+            m.ratio()
+        );
+        assert!(m.ratio() < 2_000.0, "ratio {} implausible", m.ratio());
     }
 
     #[test]

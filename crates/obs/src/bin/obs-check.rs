@@ -17,6 +17,14 @@
 //! Usage: `obs-check --events <events.jsonl> --report <RUN_REPORT.json>`
 //! (either argument may be given alone). Exits non-zero with a
 //! line-numbered message on the first violation.
+//!
+//! Warm-cache mode (`--min-cache-hit-rate R`, used by the CI cache-smoke
+//! job) changes what a valid report looks like: a fully warm resume run
+//! performs no simulation at all, so the usual required sim counters and
+//! non-empty histogram requirement are waived; instead the report must
+//! show `core.cache.hits / (hits + misses) >= R`. Independently,
+//! `--require-zero NAME` (repeatable) asserts a counter is absent or
+//! zero — e.g. `core.truth.passes` on a resumed run.
 
 use mlpa_obs::json::{self, Value};
 use std::process::ExitCode;
@@ -31,17 +39,46 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "sim.l2.misses",
 ];
 
+/// What `check_report` should enforce beyond the base schema.
+#[derive(Default)]
+struct ReportChecks {
+    /// Counters that must be absent or exactly zero.
+    require_zero: Vec<String>,
+    /// Warm-cache mode: waive the required sim counters and the
+    /// non-empty-histogram rule (a fully warm run records neither), and
+    /// require `core.cache.hits / (hits + misses)` to reach this value.
+    min_cache_hit_rate: Option<f64>,
+}
+
 fn main() -> ExitCode {
     let mut events: Option<String> = None;
     let mut report: Option<String> = None;
+    let mut checks = ReportChecks::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--events" => events = args.next(),
             "--report" => report = args.next(),
+            "--require-zero" => match args.next() {
+                Some(name) => checks.require_zero.push(name),
+                None => {
+                    eprintln!("obs-check: --require-zero needs a counter name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-cache-hit-rate" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => checks.min_cache_hit_rate = Some(r),
+                _ => {
+                    eprintln!("obs-check: --min-cache-hit-rate needs a rate in [0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("obs-check: unknown argument `{other}`");
-                eprintln!("usage: obs-check [--events <file.jsonl>] [--report <RUN_REPORT.json>]");
+                eprintln!(
+                    "usage: obs-check [--events <file.jsonl>] [--report <RUN_REPORT.json>] \
+                     [--require-zero <counter>]... [--min-cache-hit-rate <0..1>]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -66,7 +103,7 @@ fn main() -> ExitCode {
     if let Some(path) = report {
         match std::fs::read_to_string(&path)
             .map_err(|e| e.to_string())
-            .and_then(|s| check_report(&s))
+            .and_then(|s| check_report(&s, &checks))
         {
             Ok(()) => println!("obs-check: {path}: report OK"),
             Err(e) => {
@@ -210,8 +247,9 @@ fn check_events(text: &str) -> Result<usize, String> {
     Ok(count)
 }
 
-/// Validate a `RUN_REPORT.json` document.
-fn check_report(text: &str) -> Result<(), String> {
+/// Validate a `RUN_REPORT.json` document against the base schema plus
+/// any extra `checks`.
+fn check_report(text: &str, checks: &ReportChecks) -> Result<(), String> {
     let v = json::parse(text)?;
     let schema = str_field(&v, "schema")?;
     if schema != mlpa_obs::RUN_REPORT_SCHEMA {
@@ -249,19 +287,46 @@ fn check_report(text: &str) -> Result<(), String> {
     }
 
     let counters = field(&v, "counters")?.as_arr().ok_or("field `counters` is not an array")?;
-    let mut names = Vec::new();
+    let mut values = Vec::new();
     for (i, c) in counters.iter().enumerate() {
-        names.push(str_field(c, "name").map_err(|e| format!("counters[{i}]: {e}"))?);
-        num_field(c, "value").map_err(|e| format!("counters[{i}]: {e}"))?;
+        let name = str_field(c, "name").map_err(|e| format!("counters[{i}]: {e}"))?;
+        let value = num_field(c, "value").map_err(|e| format!("counters[{i}]: {e}"))?;
+        values.push((name, value));
     }
-    for required in REQUIRED_COUNTERS {
-        if !names.iter().any(|n| n == required) {
-            return Err(format!("missing required counter `{required}`"));
+    // A fully warm resume run performs no simulation, so the sim counter
+    // requirement only applies outside warm-cache mode.
+    if checks.min_cache_hit_rate.is_none() {
+        for required in REQUIRED_COUNTERS {
+            if !values.iter().any(|(n, _)| n == required) {
+                return Err(format!("missing required counter `{required}`"));
+            }
+        }
+    }
+    let counter = |name: &str| values.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    for name in &checks.require_zero {
+        if let Some(value) = counter(name) {
+            if value != 0.0 {
+                return Err(format!("counter `{name}` is {value}, expected 0 or absent"));
+            }
+        }
+    }
+    if let Some(min_rate) = checks.min_cache_hit_rate {
+        let hits = counter("core.cache.hits").unwrap_or(0.0);
+        let misses = counter("core.cache.misses").unwrap_or(0.0);
+        if hits + misses <= 0.0 {
+            return Err("no core.cache.hits/misses recorded; was the run cached at all?".into());
+        }
+        let rate = hits / (hits + misses);
+        if rate < min_rate {
+            return Err(format!(
+                "cache hit rate {rate:.3} ({hits} hits / {misses} misses) below required \
+                 {min_rate:.3}"
+            ));
         }
     }
 
     let hists = field(&v, "histograms")?.as_arr().ok_or("field `histograms` is not an array")?;
-    if hists.is_empty() {
+    if hists.is_empty() && checks.min_cache_hit_rate.is_none() {
         return Err("no histograms recorded".into());
     }
     for (i, h) in hists.iter().enumerate() {
@@ -431,12 +496,16 @@ mod tests {
         }
     }
 
+    fn base() -> ReportChecks {
+        ReportChecks::default()
+    }
+
     #[test]
     fn report_schema_is_enforced() {
         let mut report = sample_report();
-        assert!(check_report(&report.to_json()).is_ok());
+        assert!(check_report(&report.to_json(), &base()).is_ok());
         report.counters.remove(0);
-        let err = check_report(&report.to_json()).unwrap_err();
+        let err = check_report(&report.to_json(), &base()).unwrap_err();
         assert!(err.contains("phase.kmeans.iterations"), "{err}");
     }
 
@@ -444,10 +513,10 @@ mod tests {
     fn report_histograms_are_validated() {
         let mut report = sample_report();
         report.histograms.clear();
-        assert!(check_report(&report.to_json()).unwrap_err().contains("histograms"));
+        assert!(check_report(&report.to_json(), &base()).unwrap_err().contains("histograms"));
         let mut report = sample_report();
         report.histograms[0].p99 = 9; // outside [min, max]
-        let err = check_report(&report.to_json()).unwrap_err();
+        let err = check_report(&report.to_json(), &base()).unwrap_err();
         assert!(err.contains("p99"), "{err}");
     }
 
@@ -457,9 +526,55 @@ mod tests {
         let good = "[{\"benchmark\": \"eon\", \"phases\": [{\"cluster\": 0, \"weight\": 1.0, \
                     \"cpi_err_share\": -0.01}]}]";
         let doc = report.to_json_with(&[("attribution".to_string(), good.to_string())]);
-        assert!(check_report(&doc).is_ok(), "{:?}", check_report(&doc));
+        assert!(check_report(&doc, &base()).is_ok(), "{:?}", check_report(&doc, &base()));
         let bad = "[{\"phases\": []}]";
         let doc = report.to_json_with(&[("attribution".to_string(), bad.to_string())]);
-        assert!(check_report(&doc).unwrap_err().contains("benchmark"));
+        assert!(check_report(&doc, &base()).unwrap_err().contains("benchmark"));
+    }
+
+    #[test]
+    fn require_zero_accepts_absent_or_zero_and_rejects_nonzero() {
+        let mut report = sample_report();
+        let checks = ReportChecks {
+            require_zero: vec!["core.truth.passes".into(), "core.profile.base_passes".into()],
+            ..ReportChecks::default()
+        };
+        // Absent counters pass.
+        assert!(check_report(&report.to_json(), &checks).is_ok());
+        // Present-but-zero passes.
+        report.counters.push(("core.truth.passes".into(), 0));
+        assert!(check_report(&report.to_json(), &checks).is_ok());
+        // Nonzero fails with the counter named.
+        report.counters.push(("core.profile.base_passes".into(), 3));
+        let err = check_report(&report.to_json(), &checks).unwrap_err();
+        assert!(err.contains("core.profile.base_passes") && err.contains("expected 0"), "{err}");
+    }
+
+    #[test]
+    fn warm_cache_mode_waives_sim_requirements_and_gates_hit_rate() {
+        // A fully warm run: no sim counters, no histograms, only cache
+        // traffic. The base checks reject it; warm-cache mode accepts it
+        // when the hit rate clears the bar.
+        let mut report = sample_report();
+        report.counters = vec![("core.cache.hits".into(), 19), ("core.cache.misses".into(), 1)];
+        report.histograms.clear();
+        assert!(check_report(&report.to_json(), &base()).is_err());
+        let warm = ReportChecks { min_cache_hit_rate: Some(0.9), ..ReportChecks::default() };
+        assert!(
+            check_report(&report.to_json(), &warm).is_ok(),
+            "{:?}",
+            check_report(&report.to_json(), &warm)
+        );
+
+        // Too many misses: rejected with the measured rate.
+        report.counters = vec![("core.cache.hits".into(), 1), ("core.cache.misses".into(), 1)];
+        let err = check_report(&report.to_json(), &warm).unwrap_err();
+        assert!(err.contains("hit rate") && err.contains("0.5"), "{err}");
+
+        // No cache traffic at all: a warm-cache check must not pass
+        // vacuously (0/0 is not a 100% hit rate).
+        report.counters.clear();
+        let err = check_report(&report.to_json(), &warm).unwrap_err();
+        assert!(err.contains("cached at all"), "{err}");
     }
 }
