@@ -22,6 +22,7 @@ use mlpa_phase::project::RandomProjection;
 use mlpa_phase::{reference, FixedLengthProfiler};
 use mlpa_sim::cache::Cache;
 use mlpa_sim::config::CacheConfig;
+use mlpa_sim::reference as sim_reference;
 use mlpa_sim::{DetailedSim, FunctionalSim, MachineConfig};
 use mlpa_workloads::{suite, CompiledBenchmark, WorkloadStream};
 use std::hint::black_box;
@@ -46,6 +47,19 @@ fn bench_substrate(c: &mut Criterion) {
     let cb = CompiledBenchmark::compile(&spec).expect("compiles");
     let trace_len = drain_count(WorkloadStream::new(&cb)).instructions;
 
+    // The optimized detailed simulator and the retained naive reference
+    // must agree byte-for-byte before their cost is compared (same
+    // pinning as the property tests, on the real bench workload).
+    let run_current = || {
+        let mut d = DetailedSim::new(MachineConfig::table1_base(), cb.program());
+        d.simulate(&mut WorkloadStream::new(&cb), u64::MAX)
+    };
+    let run_reference = || {
+        let mut d = sim_reference::DetailedSim::new(MachineConfig::table1_base(), cb.program());
+        d.simulate(&mut WorkloadStream::new(&cb), u64::MAX)
+    };
+    assert_eq!(run_current(), run_reference(), "detailed-sim implementations disagree");
+
     let mut group = c.benchmark_group("substrate");
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace_len));
@@ -59,10 +73,10 @@ fn bench_substrate(c: &mut Criterion) {
         });
     });
     group.bench_function("detailed_sim", |b| {
-        b.iter(|| {
-            let mut d = DetailedSim::new(MachineConfig::table1_base(), cb.program());
-            d.simulate(&mut WorkloadStream::new(&cb), u64::MAX)
-        });
+        b.iter(run_current);
+    });
+    group.bench_function("detailed_sim_reference", |b| {
+        b.iter(run_reference);
     });
     group.finish();
 
@@ -337,9 +351,10 @@ fn write_bench_json(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
         ));
     }
     out.push_str("  ],\n");
-    let [(_, pipeline), (_, sweep), (_, kmeans_speedup)] = derived_speedups(measurements);
+    let [(_, pipeline), (_, sweep), (_, kmeans_speedup), (_, detailed)] =
+        derived_speedups(measurements);
     out.push_str(&format!(
-        "  \"speedups\": {{ \"phase_pipeline\": {pipeline:.2}, \"phase_sweep\": {sweep:.2}, \"kmeans\": {kmeans_speedup:.2} }}\n"
+        "  \"speedups\": {{ \"phase_pipeline\": {pipeline:.2}, \"phase_sweep\": {sweep:.2}, \"kmeans\": {kmeans_speedup:.2}, \"detailed_sim\": {detailed:.2} }}\n"
     ));
     out.push_str("}\n");
     if let Err(e) = std::fs::write(path, &out) {
@@ -347,13 +362,14 @@ fn write_bench_json(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
     } else {
         println!("wrote bench baseline to {}", path.to_string_lossy());
         println!(
-            "speedups: phase_pipeline {pipeline:.2}x, phase_sweep {sweep:.2}x, kmeans {kmeans_speedup:.2}x"
+            "speedups: phase_pipeline {pipeline:.2}x, phase_sweep {sweep:.2}x, \
+             kmeans {kmeans_speedup:.2}x, detailed_sim {detailed:.2}x"
         );
     }
 }
 
 /// Derived kernel speedups (naive-over-current mean ratios).
-fn derived_speedups(measurements: &[criterion::Measurement]) -> [(&'static str, f64); 3] {
+fn derived_speedups(measurements: &[criterion::Measurement]) -> [(&'static str, f64); 4] {
     let ratio = |group: &str, naive: &str, current: &str| match (
         mean_of(measurements, group, naive),
         mean_of(measurements, group, current),
@@ -365,6 +381,7 @@ fn derived_speedups(measurements: &[criterion::Measurement]) -> [(&'static str, 
         ("phase_pipeline", ratio("phase_pipeline", "naive", "current")),
         ("phase_sweep", ratio("phase_sweep", "naive", "current")),
         ("kmeans", ratio("kmeans", "k10_n2000_d15_naive", "k10_n2000_d15")),
+        ("detailed_sim", ratio("substrate", "detailed_sim_reference", "detailed_sim")),
     ]
 }
 

@@ -1,0 +1,42 @@
+//! Interleaved A/B of the optimized detailed simulator against the
+//! retained naive reference on the bench workload. The two run
+//! back-to-back in each round, so host-level noise (shared-tenancy
+//! frequency drift) cancels out of the per-round ratio.
+
+use mlpa_sim::{reference, DetailedSim, MachineConfig};
+use mlpa_workloads::{suite, CompiledBenchmark, WorkloadStream};
+use std::time::Instant;
+
+fn main() {
+    let spec = suite::benchmark_with_iters("eon", 1).expect("eon").scaled(0.05);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+
+    let time = |f: &mut dyn FnMut() -> u64| {
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let c = f();
+            let dt = t.elapsed().as_secs_f64();
+            assert!(c > 0);
+            best = best.min(dt);
+        }
+        best * 1e3
+    };
+
+    let mut ratios = Vec::new();
+    for round in 0..5 {
+        let fast = time(&mut || {
+            let mut d = DetailedSim::new(MachineConfig::table1_base(), cb.program());
+            d.simulate(&mut WorkloadStream::new(&cb), u64::MAX).cycles
+        });
+        let naive = time(&mut || {
+            let mut d = reference::DetailedSim::new(MachineConfig::table1_base(), cb.program());
+            d.simulate(&mut WorkloadStream::new(&cb), u64::MAX).cycles
+        });
+        let r = naive / fast;
+        ratios.push(r);
+        println!("round {round}: fast {fast:7.2} ms  naive {naive:7.2} ms  ratio {r:.3}");
+    }
+    ratios.sort_by(f64::total_cmp);
+    println!("median ratio vs reference: {:.3}", ratios[ratios.len() / 2]);
+}

@@ -75,6 +75,16 @@ impl Reg {
         self.0 as usize
     }
 
+    /// Raw scoreboard lane (0..256), defined for every value including
+    /// [`Reg::NONE`] (lane 255). Lets hot loops index a 256-entry
+    /// scoreboard branchlessly: real registers land in lanes 0..64 and
+    /// the sentinel gets a dedicated lane the caller keeps pinned at a
+    /// neutral value, so no `is_some()` test is needed per operand.
+    #[inline]
+    pub fn lane(self) -> usize {
+        self.0 as usize
+    }
+
     /// Whether this register belongs to the floating-point file.
     #[inline]
     pub fn is_fp(self) -> bool {

@@ -10,15 +10,20 @@ use mlpa_isa::{BlockId, BranchInfo, BranchKind};
 struct Counter2(u8);
 
 impl Counter2 {
+    /// Saturating transition table, indexed `[taken][state]`: a
+    /// two-load lookup instead of an `if taken` whose direction is the
+    /// (unpredictable) branch outcome itself.
+    const NEXT: [[u8; 4]; 2] = [[0, 0, 1, 2], [1, 2, 3, 3]];
+
     fn taken(self) -> bool {
         self.0 >= 2
     }
     fn update(&mut self, taken: bool) {
-        if taken {
-            self.0 = (self.0 + 1).min(3);
-        } else {
-            self.0 = self.0.saturating_sub(1);
-        }
+        self.0 = Self::NEXT[usize::from(taken)][usize::from(self.0)];
+    }
+    /// The post-update value without storing it.
+    fn updated(self, taken: bool) -> Counter2 {
+        Counter2(Self::NEXT[usize::from(taken)][usize::from(self.0)])
     }
     fn weakly_taken() -> Counter2 {
         Counter2(2)
@@ -141,6 +146,30 @@ impl Combined {
     }
 }
 
+impl Combined {
+    /// Predict and train in one pass, reading each table once (the
+    /// split `predict` + `update` pair reads the component tables
+    /// twice per branch). The chooser write is unconditional with a
+    /// selected value, so the components-disagree test costs a cmov
+    /// instead of a data-dependent branch.
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let ci = ((pc >> 2) & self.mask) as usize;
+        let bi = self.bimodal.index(pc);
+        let gi = self.gshare.index(pc);
+        let cb = self.bimodal.table[bi];
+        let cg = self.gshare.table[gi];
+        let chooser = self.chooser[ci];
+        let (pb, pg) = (cb.taken(), cg.taken());
+        let pred = if chooser.taken() { pg } else { pb };
+        self.chooser[ci] = if pb != pg { chooser.updated(pg == taken) } else { chooser };
+        self.bimodal.table[bi] = cb.updated(taken);
+        self.gshare.table[gi] = cg.updated(taken);
+        self.gshare.history =
+            ((self.gshare.history << 1) | u64::from(taken)) & self.gshare.history_mask;
+        pred
+    }
+}
+
 impl DirectionPredictor for Combined {
     fn predict(&self, pc: u64) -> bool {
         let c = self.chooser[((pc >> 2) & self.mask) as usize];
@@ -170,7 +199,7 @@ pub struct Btb {
     tags: Vec<u64>,
     targets: Vec<BlockId>,
     stamps: Vec<u64>,
-    sets: u64,
+    set_mask: u64,
     tick: u64,
 }
 
@@ -189,46 +218,55 @@ impl Btb {
             tags: vec![u64::MAX; lines],
             targets: vec![BlockId::new(0); lines],
             stamps: vec![0; lines],
-            sets: u64::from(sets),
+            set_mask: u64::from(sets) - 1,
             tick: 0,
         }
     }
 
+    // `sets` is a power of two, so index with a mask — a runtime `%`
+    // is a hardware divide on the hot path.
     fn set_of(&self, pc: u64) -> usize {
-        (((pc >> 2) % self.sets) as usize) * BTB_WAYS
+        (((pc >> 2) & self.set_mask) as usize) * BTB_WAYS
+    }
+
+    // Compare all four way tags at once; at most one way can match a
+    // given pc (update never duplicates a tag within a set).
+    fn hit_mask(tags: &[u64], pc: u64) -> u64 {
+        u64::from(tags[0] == pc)
+            | u64::from(tags[1] == pc) << 1
+            | u64::from(tags[2] == pc) << 2
+            | u64::from(tags[3] == pc) << 3
     }
 
     /// Look up the predicted target for the branch at `pc`.
     pub fn predict(&self, pc: u64) -> Option<BlockId> {
         let base = self.set_of(pc);
-        (0..BTB_WAYS).find(|&w| self.tags[base + w] == pc).map(|w| self.targets[base + w])
+        let hit = Self::hit_mask(&self.tags[base..base + BTB_WAYS], pc);
+        if hit == 0 {
+            None
+        } else {
+            Some(self.targets[base + hit.trailing_zeros() as usize])
+        }
     }
 
     /// Record the actual target of the branch at `pc`.
     pub fn update(&mut self, pc: u64, target: BlockId) {
         self.tick += 1;
         let base = self.set_of(pc);
-        // Hit: refresh.
-        for w in 0..BTB_WAYS {
-            if self.tags[base + w] == pc {
-                self.targets[base + w] = target;
-                self.stamps[base + w] = self.tick;
-                return;
-            }
-        }
-        // Miss: replace LRU.
-        let mut victim = 0;
-        let mut oldest = u64::MAX;
-        for w in 0..BTB_WAYS {
-            let s = if self.tags[base + w] == u64::MAX { 0 } else { self.stamps[base + w] };
-            if s < oldest {
-                oldest = s;
-                victim = w;
-            }
-        }
-        self.tags[base + victim] = pc;
-        self.targets[base + victim] = target;
-        self.stamps[base + victim] = self.tick;
+        let hit = Self::hit_mask(&self.tags[base..base + BTB_WAYS], pc);
+        // LRU victim via a packed stamp<<2|way minimum: stamps start at
+        // 0 and are only ever written alongside a tag with tick >= 1,
+        // so invalid ways always lose the scan and ties (only between
+        // invalid ways) resolve to the lowest index — exactly the
+        // tag-aware first-strict-min linear scan this replaces.
+        let s = &self.stamps[base..base + BTB_WAYS];
+        let vkey = (s[0] << 2).min(s[1] << 2 | 1).min((s[2] << 2 | 2).min(s[3] << 2 | 3));
+        // On a hit the victim is the hit way itself (re-writing the tag
+        // with the same pc is a no-op), selected without a branch.
+        let w = if hit != 0 { hit.trailing_zeros() as usize & 3 } else { (vkey & 3) as usize };
+        self.tags[base + w] = pc;
+        self.targets[base + w] = target;
+        self.stamps[base + w] = self.tick;
     }
 }
 
@@ -295,7 +333,10 @@ impl BranchUnit {
         self.predictions += 1;
         let (pred_taken, pred_target) = match info.kind {
             BranchKind::Conditional => {
-                let t = self.dir.predict(pc);
+                // Fused predict + train: the direction tables are
+                // disjoint from the BTB, so updating them before the
+                // target lookup cannot change the prediction.
+                let t = self.dir.predict_and_update(pc, info.taken);
                 (t, if t { self.btb.predict(pc) } else { Some(fallthrough) })
             }
             BranchKind::Return => (true, self.ras.pop()),
@@ -307,10 +348,7 @@ impl BranchUnit {
         let actual_target = if info.taken { info.target } else { fallthrough };
         let correct = pred_taken == info.taken && pred_target.is_some_and(|t| t == actual_target);
 
-        // Updates.
-        if info.kind == BranchKind::Conditional {
-            self.dir.update(pc, info.taken);
-        }
+        // Updates (direction tables already trained above).
         if info.taken && info.kind != BranchKind::Return {
             self.btb.update(pc, info.target);
         }

@@ -30,6 +30,10 @@ impl CacheConfig {
         self.size / (self.line * u64::from(self.assoc))
     }
 
+    /// Upper bound on associativity: the optimized way scan packs the
+    /// way index into the low 6 bits of its LRU scan key.
+    pub const MAX_ASSOC: u32 = 64;
+
     /// Check size/line/assoc consistency: all non-zero, powers of two
     /// where required, and at least one set.
     ///
@@ -40,8 +44,12 @@ impl CacheConfig {
         if self.line == 0 || !self.line.is_power_of_two() {
             return Err(format!("cache line {} must be a power of two", self.line));
         }
-        if self.assoc == 0 {
-            return Err("cache associativity must be positive".into());
+        if self.assoc == 0 || self.assoc > Self::MAX_ASSOC {
+            return Err(format!(
+                "cache associativity {} must be in 1..={}",
+                self.assoc,
+                Self::MAX_ASSOC
+            ));
         }
         if self.size == 0 || !self.size.is_multiple_of(self.line * u64::from(self.assoc)) {
             return Err(format!(
@@ -138,11 +146,16 @@ impl FuConfig {
         }
     }
 
-    /// Check that every pool has at least one unit.
+    /// Maximum units per pool: the detailed simulator tracks each pool
+    /// in a fixed sorted array of this many slots.
+    pub const MAX_UNITS: u32 = 64;
+
+    /// Check that every pool has at least one unit and no more than
+    /// [`FuConfig::MAX_UNITS`].
     ///
     /// # Errors
     ///
-    /// Returns a message naming the empty pool.
+    /// Returns a message naming the offending pool.
     pub fn validate(&self) -> Result<(), String> {
         for class in [
             FuClass::IntAlu,
@@ -153,6 +166,13 @@ impl FuConfig {
         ] {
             if self.pool(class) == 0 {
                 return Err(format!("functional-unit pool {class} is empty"));
+            }
+            if self.pool(class) > Self::MAX_UNITS {
+                return Err(format!(
+                    "functional-unit pool {class} has {} units (max {})",
+                    self.pool(class),
+                    Self::MAX_UNITS
+                ));
             }
         }
         Ok(())

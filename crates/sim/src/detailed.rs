@@ -21,33 +21,74 @@
 //! it reproduces the microarchitectural sensitivities the sampling
 //! methodology measures (CPI, cache hit rates, branch behaviour) while
 //! staying fast enough to ground-truth whole benchmarks.
+//!
+//! # Kernel layout
+//!
+//! The per-instruction loop is written as a flat branch-light kernel
+//! (see DESIGN.md "Detailed-sim kernel layout"): ROB/LSQ occupancy
+//! rings are power-of-two sized and indexed by absolute instruction
+//! counters with mask wraparound, functional-unit pools are fixed
+//! arrays scanned argmin-replace with a fixed trip count, the register scoreboard
+//! has a sentinel lane so operand reads skip `is_some()` tests, and the
+//! per-block invariants (config fields, I-line mask, incremented PC)
+//! live in locals. The naive formulation is retained in
+//! [`crate::reference`] and property tests pin this implementation
+//! byte-identical to it.
 
 use crate::branch::BranchUnit;
 use crate::cache::{HierarchyAccess, MemoryHierarchy};
-use crate::config::MachineConfig;
+use crate::config::{FuConfig, MachineConfig};
 use crate::metrics::SimMetrics;
+use mlpa_isa::program::INST_BYTES;
 use mlpa_isa::stream::InstructionStream;
 use mlpa_isa::{BlockId, FuClass, OpClass, Program, Reg};
 
+/// Slots per pool: up to [`FuConfig::MAX_UNITS`] real units.
+const POOL_SLOTS: usize = FuConfig::MAX_UNITS as usize;
+
 /// Per-class functional-unit pools tracking when each unit frees up.
+///
+/// Each pool is a fixed *unsorted* array of keys packing
+/// `busy_until << 6 | slot`, padded with `u64::MAX` past the real
+/// units. Only the *multiset* of real busy-until times is observable
+/// through [`FuPools::issue`] (the issue cycle depends on the pool
+/// minimum alone, and allocating replaces one instance of that minimum
+/// — a unit is picked by its free time, never by identity), so an
+/// argmin-replace is exactly equivalent to the reference's linear
+/// earliest-free scan, and padding slots can never win the argmin.
+/// Keys are stored pre-packed because the argmin runs every
+/// instruction while each slot is written at most once per instruction
+/// — packing at scan time re-paid the shift/or per slot per scan.
+/// Every class scans the same `scan` slots (the largest pool's unit
+/// count), so the scan's trip count never changes between issues and
+/// its loop branch stays perfectly predicted — both a sorted-insertion
+/// scheme and per-class trip counts were tried first and mispredicted
+/// on nearly every issue (see DESIGN.md).
 #[derive(Debug, Clone)]
 struct FuPools {
-    /// `busy_until[class][unit]` — cycle at which the unit is free.
-    busy_until: [Vec<u64>; 5],
+    /// `keys[class][..scan]` — unsorted `busy_until << 6 | slot` keys,
+    /// `u64::MAX` padding beyond the class's real unit count.
+    keys: [[u64; POOL_SLOTS]; 5],
+    /// Uniform scan width: `max` over the per-class unit counts.
+    scan: usize,
 }
 
 impl FuPools {
     fn new(cfg: &MachineConfig) -> FuPools {
-        let mk = |n: u32| vec![0u64; n as usize];
-        FuPools {
-            busy_until: [
-                mk(cfg.fu.int_alu),
-                mk(cfg.fu.int_muldiv),
-                mk(cfg.fu.fp_add),
-                mk(cfg.fu.fp_muldiv),
-                mk(cfg.fu.load_store),
-            ],
+        let lens = [
+            cfg.fu.int_alu as usize,
+            cfg.fu.int_muldiv as usize,
+            cfg.fu.fp_add as usize,
+            cfg.fu.fp_muldiv as usize,
+            cfg.fu.load_store as usize,
+        ];
+        let mut keys = [[u64::MAX; POOL_SLOTS]; 5];
+        for (pool, &n) in keys.iter_mut().zip(&lens) {
+            for (i, k) in pool[..n].iter_mut().enumerate() {
+                *k = i as u64; // busy-until 0, packed with the slot index
+            }
         }
+        FuPools { keys, scan: lens.into_iter().max().unwrap_or(1) }
     }
 
     fn class_index(class: FuClass) -> usize {
@@ -63,17 +104,40 @@ impl FuPools {
     /// Allocate a unit of `class` no earlier than `ready`; returns the
     /// actual issue cycle. Pipelined ops occupy the unit one cycle;
     /// unpipelined ops occupy it for their full latency.
+    #[inline]
     fn issue(&mut self, class: FuClass, ready: u64, occupy: u64) -> u64 {
-        let pool = &mut self.busy_until[Self::class_index(class)];
-        // Earliest-free unit.
-        let mut best = 0usize;
-        for (i, &b) in pool.iter().enumerate() {
-            if b < pool[best] {
-                best = i;
+        let c = Self::class_index(class);
+        let pool = &mut self.keys[c];
+        // First-strict-min argmin over the packed keys: a
+        // single-variable min compiles to conditional moves (a
+        // two-variable value+index argmin compiles to a data-dependent
+        // branch that mispredicts on nearly every issue), and on equal
+        // times the lower slot wins, exactly like a strict-`<` scan.
+        // Cycle counts stay far below 2^58, so the shift cannot wrap,
+        // and `u64::MAX` padding keys stay above every real key.
+        //
+        // Pools of ≤ 8 units (every realistic machine) reduce through a
+        // fixed depth-3 min tree: a rolled loop is a loop-carried
+        // dependence chain that serialises the whole simulator (the
+        // IntAlu pool sits on the critical path of most instructions),
+        // while the tree costs ~3 dependent min steps. The `scan == 8`
+        // test is constant per machine, so the branch never mispredicts.
+        let key = if self.scan <= 8 {
+            let a = pool[0].min(pool[1]);
+            let b = pool[2].min(pool[3]);
+            let c2 = pool[4].min(pool[5]);
+            let d = pool[6].min(pool[7]);
+            a.min(b).min(c2.min(d))
+        } else {
+            let mut key = pool[0];
+            for &k in pool.iter().take(self.scan).skip(1) {
+                key = key.min(k);
             }
-        }
-        let start = ready.max(pool[best]);
-        pool[best] = start + occupy;
+            key
+        };
+        let slot = key & 63;
+        let start = ready.max(key >> 6);
+        pool[slot as usize] = (start + occupy) << 6 | slot;
         start
     }
 }
@@ -101,13 +165,27 @@ pub struct DetailedSim<'p> {
     hier: MemoryHierarchy,
     branch: BranchUnit,
     fu: FuPools,
-    reg_ready: [u64; Reg::NUM_TOTAL as usize],
-    /// Ring of commit cycles for ROB occupancy.
+    /// Register scoreboard indexed by [`Reg::lane`]: lanes 0..64 are the
+    /// architectural files, lane 255 is the `Reg::NONE` sentinel and is
+    /// pinned at 0 so operand reads and destination writes need no
+    /// `is_some()` branch.
+    reg_ready: [u64; 256],
+    /// Commit-cycle ring for ROB occupancy: power-of-two capacity,
+    /// indexed by the absolute instruction counter masked down. Entry
+    /// `k mod P` holds the commit cycle of instruction `k`; instruction
+    /// `k` stalls dispatch on the commit of instruction `k − rob_cap`.
     rob_ring: Vec<u64>,
-    rob_head: usize,
-    /// Ring of completion cycles for LSQ occupancy.
+    rob_mask: u64,
+    /// Architectural ROB capacity (≤ ring length).
+    rob_cap: u64,
+    /// Commit-cycle ring for LSQ occupancy (memory ops only).
     lsq_ring: Vec<u64>,
-    lsq_head: usize,
+    lsq_mask: u64,
+    lsq_cap: u64,
+    /// Instructions ever run through this simulator (ring cursor).
+    insts_seen: u64,
+    /// Memory instructions ever run (LSQ ring cursor).
+    mems_seen: u64,
     fetch_cycle: u64,
     fetch_in_cycle: u32,
     last_commit_cycle: u64,
@@ -115,6 +193,8 @@ pub struct DetailedSim<'p> {
     redirect_at: u64,
     /// Last I-cache line fetched (to charge each line once).
     last_fetch_line: u64,
+    /// `!(icache.line - 1)`, hoisted out of the fetch path.
+    line_mask: u64,
 }
 
 impl<'p> DetailedSim<'p> {
@@ -129,17 +209,22 @@ impl<'p> DetailedSim<'p> {
             hier: MemoryHierarchy::new(&cfg),
             branch: BranchUnit::new(&cfg.predictor),
             fu: FuPools::new(&cfg),
-            reg_ready: [0; Reg::NUM_TOTAL as usize],
-            rob_ring: vec![0; cfg.rob_entries as usize],
-            rob_head: 0,
-            lsq_ring: vec![0; cfg.lsq_entries as usize],
-            lsq_head: 0,
+            reg_ready: [0; 256],
+            rob_ring: vec![0; (cfg.rob_entries as usize).next_power_of_two()],
+            rob_mask: (cfg.rob_entries as u64).next_power_of_two() - 1,
+            rob_cap: u64::from(cfg.rob_entries),
+            lsq_ring: vec![0; (cfg.lsq_entries as usize).next_power_of_two()],
+            lsq_mask: (cfg.lsq_entries as u64).next_power_of_two() - 1,
+            lsq_cap: u64::from(cfg.lsq_entries),
+            insts_seen: 0,
+            mems_seen: 0,
             fetch_cycle: 0,
             fetch_in_cycle: 0,
             last_commit_cycle: 0,
             commits_in_cycle: 0,
             redirect_at: 0,
             last_fetch_line: u64::MAX,
+            line_mask: !(cfg.icache.line - 1),
             cfg,
             program,
         }
@@ -204,10 +289,15 @@ impl<'p> DetailedSim<'p> {
         let mut m = SimMetrics::default();
         let mut buf = Vec::with_capacity(64);
         let mut tally = ObsTally::default();
+        // One enablement load per region: every per-instruction obs site
+        // below branches on this register-resident local. With the obs
+        // feature compiled out it is a constant `false` and the sites
+        // (and `tally`) fold away entirely.
+        let obs = mlpa_obs::is_enabled();
 
         while m.instructions < limit {
             let Some(id) = stream.next_block(&mut buf) else { break };
-            self.run_block(id, &buf, &mut m, &mut tally);
+            self.run_block(id, &buf, &mut m, &mut tally, obs);
         }
 
         m.cycles = self.last_commit_cycle.saturating_sub(start_cycle).max(
@@ -222,7 +312,7 @@ impl<'p> DetailedSim<'p> {
         m.l2_misses = self.hier.l2().misses();
         m.branches = self.branch.predictions();
         m.mispredicts = self.branch.mispredictions();
-        if mlpa_obs::is_enabled() {
+        if obs {
             tally.finish_runs();
             mlpa_obs::add("sim.instructions", m.instructions);
             mlpa_obs::add("sim.cycles", m.cycles);
@@ -254,9 +344,12 @@ impl<'p> DetailedSim<'p> {
         m
     }
 
-    /// Count ring entries still in flight (commit cycle beyond `now`).
-    fn in_flight(ring: &[u64], now: u64) -> u64 {
-        ring.iter().filter(|&&c| c > now).count() as u64
+    /// Count how many of the last `min(cap, seen)` ring entries commit
+    /// beyond `now` — the occupancy the reference measures by scanning
+    /// its whole `cap`-long ring (whose never-written slots hold 0 and
+    /// can never exceed `now`).
+    fn in_flight(ring: &[u64], mask: u64, cap: u64, seen: u64, now: u64) -> u64 {
+        (seen.saturating_sub(cap)..seen).filter(|&k| ring[(k & mask) as usize] > now).count() as u64
     }
 
     fn run_block(
@@ -265,121 +358,138 @@ impl<'p> DetailedSim<'p> {
         insts: &[mlpa_isa::Instruction],
         m: &mut SimMetrics,
         tally: &mut ObsTally,
+        obs: bool,
     ) {
         let block = self.program.block(id);
-        let line_mask = !(self.hier.l1i().config().line - 1);
         let fallthrough = BlockId::new(id.raw().saturating_add(1));
+        // Per-block invariants and hot scalar state live in locals for
+        // the duration of the loop; the state is written back below.
+        let width = self.cfg.width;
+        let frontend = u64::from(self.cfg.frontend_depth);
+        let penalty = u64::from(self.cfg.predictor.mispredict_penalty);
+        let line_mask = self.line_mask;
+        let (rob_mask, rob_cap) = (self.rob_mask, self.rob_cap);
+        let (lsq_mask, lsq_cap) = (self.lsq_mask, self.lsq_cap);
+        let rob_ring = &mut self.rob_ring[..];
+        let lsq_ring = &mut self.lsq_ring[..];
+        let mut fetch_cycle = self.fetch_cycle;
+        let mut fetch_in_cycle = self.fetch_in_cycle;
+        let mut last_commit = self.last_commit_cycle;
+        let mut commits_in_cycle = self.commits_in_cycle;
+        let mut redirect_at = self.redirect_at;
+        let mut last_fetch_line = self.last_fetch_line;
+        let mut insts_seen = self.insts_seen;
+        let mut mems_seen = self.mems_seen;
 
-        for (i, inst) in insts.iter().enumerate() {
+        let mut pc = block.addr;
+        for inst in insts {
             // ---- Fetch ----
-            if self.fetch_cycle < self.redirect_at {
-                self.fetch_cycle = self.redirect_at;
-                self.fetch_in_cycle = 0;
+            if fetch_cycle < redirect_at {
+                fetch_cycle = redirect_at;
+                fetch_in_cycle = 0;
             }
-            let pc = block.inst_addr(i as u32);
             let line = pc & line_mask;
-            if line != self.last_fetch_line {
-                self.last_fetch_line = line;
+            if line != last_fetch_line {
+                last_fetch_line = line;
                 let stall = self.hier.fetch(line);
                 if stall > 0 {
-                    self.fetch_cycle += u64::from(stall);
-                    self.fetch_in_cycle = 0;
+                    fetch_cycle += u64::from(stall);
+                    fetch_in_cycle = 0;
                 }
             }
-            if self.fetch_in_cycle == self.cfg.width {
-                self.fetch_cycle += 1;
-                self.fetch_in_cycle = 0;
+            if fetch_in_cycle == width {
+                fetch_cycle += 1;
+                fetch_in_cycle = 0;
             }
-            self.fetch_in_cycle += 1;
+            fetch_in_cycle += 1;
 
             // ---- Dispatch (ROB/LSQ occupancy) ----
-            let mut dispatch = self.fetch_cycle + u64::from(self.cfg.frontend_depth);
-            dispatch = dispatch.max(self.rob_ring[self.rob_head]);
+            // Instruction k waits on the commit of instruction k − cap;
+            // before the ring wraps once, that slot was never written
+            // and holds the initial 0. The LSQ bound is selected
+            // branchlessly (the ring read is always in bounds; non-mem
+            // instructions select 0).
             let is_mem = inst.is_mem();
-            if is_mem {
-                dispatch = dispatch.max(self.lsq_ring[self.lsq_head]);
-            }
+            let lsq_edge = lsq_ring[(mems_seen.wrapping_sub(lsq_cap) & lsq_mask) as usize];
+            let dispatch = (fetch_cycle + frontend)
+                .max(rob_ring[(insts_seen.wrapping_sub(rob_cap) & rob_mask) as usize])
+                .max(u64::from(is_mem) * lsq_edge);
 
             // ---- Issue (dependences + FU) ----
-            let mut ready = dispatch;
-            for s in inst.srcs {
-                if s.is_some() {
-                    ready = ready.max(self.reg_ready[s.index()]);
-                }
-            }
+            // Sentinel-lane scoreboard: absent operands read lane 255,
+            // which is pinned at 0 and never raises the max.
+            let ready = dispatch
+                .max(self.reg_ready[inst.srcs[0].lane()])
+                .max(self.reg_ready[inst.srcs[1].lane()]);
             let occupy = if inst.op.pipelined() { 1 } else { u64::from(inst.op.latency()) };
             let issue = self.fu.issue(inst.op.fu(), ready, occupy);
 
             // ---- Execute ----
-            let complete = match inst.op {
-                OpClass::Load => {
-                    m.loads += 1;
-                    let acc = self.hier.data_access(inst.addr, false);
-                    if mlpa_obs::is_enabled() {
-                        tally.data_access(acc);
-                    }
-                    issue + 1 + u64::from(acc.latency)
+            // One data-dependent branch (`is_mem`) covers both memory
+            // ops: stores retire through the store buffer (the cache is
+            // updated but its latency is off the critical path), so
+            // `complete` only adds the access latency for loads. A
+            // three-arm match here costs an extra mispredicting branch.
+            let complete = if is_mem {
+                let is_store = inst.op == OpClass::Store;
+                m.loads += u64::from(!is_store);
+                m.stores += u64::from(is_store);
+                let acc = self.hier.data_access(inst.addr, is_store);
+                if obs {
+                    tally.data_access(acc);
                 }
-                OpClass::Store => {
-                    m.stores += 1;
-                    // Stores retire through the store buffer; the cache
-                    // is updated but its latency is off the critical
-                    // path.
-                    let acc = self.hier.data_access(inst.addr, true);
-                    if mlpa_obs::is_enabled() {
-                        tally.data_access(acc);
-                    }
-                    issue + 1
-                }
-                op => issue + u64::from(op.latency()),
+                issue + 1 + u64::from(!is_store) * u64::from(acc.latency)
+            } else {
+                issue + u64::from(inst.op.latency())
             };
 
-            if inst.dst.is_some() {
-                self.reg_ready[inst.dst.index()] = complete;
-            }
+            // Absent destinations write the sentinel lane, which is put
+            // back to 0 immediately — no `is_some()` branch.
+            self.reg_ready[inst.dst.lane()] = complete;
+            self.reg_ready[Reg::NONE.lane()] = 0;
 
             // ---- Branch resolution ----
             if let Some(info) = &inst.branch {
                 let correct = self.branch.resolve(pc, info, fallthrough);
                 if !correct {
-                    self.redirect_at = complete + u64::from(self.cfg.predictor.mispredict_penalty);
+                    redirect_at = complete + penalty;
                 }
             }
 
             // ---- Commit (in order, width-limited) ----
-            let mut commit = (complete + 1).max(self.last_commit_cycle);
-            if commit == self.last_commit_cycle {
-                if self.commits_in_cycle >= self.cfg.width {
-                    commit += 1;
-                    self.commits_in_cycle = 1;
-                } else {
-                    self.commits_in_cycle += 1;
-                }
-            } else {
-                self.commits_in_cycle = 1;
-            }
-            self.last_commit_cycle = commit;
+            // Branchless width accounting: with CPI well below 1 the
+            // same-cycle test flips constantly and mispredicts as a
+            // branch. `same` keeps counting in the current commit
+            // cycle; `over` rolls into the next one. Equivalent to
+            //   if same { if over { commit += 1; n = 1 } else { n += 1 } }
+            //   else { n = 1 }
+            let mut commit = (complete + 1).max(last_commit);
+            let same = commit == last_commit;
+            let over = same & (commits_in_cycle >= width);
+            commit += u64::from(over);
+            commits_in_cycle = 1 + u32::from(same & !over) * commits_in_cycle;
+            last_commit = commit;
 
-            self.rob_ring[self.rob_head] = commit;
-            self.rob_head = (self.rob_head + 1) % self.rob_ring.len();
+            rob_ring[(insts_seen & rob_mask) as usize] = commit;
+            insts_seen = insts_seen.wrapping_add(1);
             if is_mem {
-                self.lsq_ring[self.lsq_head] = commit;
-                self.lsq_head = (self.lsq_head + 1) % self.lsq_ring.len();
+                lsq_ring[(mems_seen & lsq_mask) as usize] = commit;
+                mems_seen = mems_seen.wrapping_add(1);
             }
 
             m.instructions += 1;
             // ROB/LSQ occupancy sampling every 8192 instructions: count
             // ring entries whose commit lies beyond this instruction's
             // dispatch cycle, i.e. how many older instructions were
-            // still in flight when it entered the window. The mask test
-            // is on a register-resident local, so the check is
-            // branch-predicted away; when the obs feature is compiled
-            // out `is_enabled()` is a constant `false` and the whole
-            // block (and `tally`) is eliminated.
-            if m.instructions & 8191 == 0 && mlpa_obs::is_enabled() {
+            // still in flight when it entered the window. `obs` is a
+            // register-resident local, so the check is branch-predicted
+            // away; when the obs feature is compiled out it is a
+            // constant `false` and the whole block (and `tally`) is
+            // eliminated.
+            if obs && m.instructions & 8191 == 0 {
                 tally.samples += 1;
-                let rob = Self::in_flight(&self.rob_ring, dispatch);
-                let lsq = Self::in_flight(&self.lsq_ring, dispatch);
+                let rob = Self::in_flight(rob_ring, rob_mask, rob_cap, insts_seen, dispatch);
+                let lsq = Self::in_flight(lsq_ring, lsq_mask, lsq_cap, mems_seen, dispatch);
                 tally.rob_occupancy += rob;
                 tally.lsq_occupancy += lsq;
                 tally.rob.record(rob);
@@ -392,7 +502,17 @@ impl<'p> DetailedSim<'p> {
                     tally.warmup_l2_misses = self.hier.l2().misses();
                 }
             }
+            pc += INST_BYTES;
         }
+
+        self.fetch_cycle = fetch_cycle;
+        self.fetch_in_cycle = fetch_in_cycle;
+        self.last_commit_cycle = last_commit;
+        self.commits_in_cycle = commits_in_cycle;
+        self.redirect_at = redirect_at;
+        self.last_fetch_line = last_fetch_line;
+        self.insts_seen = insts_seen;
+        self.mems_seen = mems_seen;
     }
 }
 
@@ -658,5 +778,42 @@ mod tests {
             a.l1_hit_rate(),
             b.l1_hit_rate()
         );
+    }
+
+    #[test]
+    fn fu_pool_matches_linear_scan_and_preserves_multiset() {
+        // Drive one pool with an adversarial ready/occupy sequence and
+        // check the issue cycles against a straightforward earliest-free
+        // linear scan over a plain vector. Only the multiset of
+        // busy-until times is observable, so the two must also stay
+        // multiset-equal at every step.
+        let cfg = MachineConfig::table1_base();
+        let mut fast = FuPools::new(&cfg);
+        let n = cfg.fu.int_alu as usize;
+        let mut naive: Vec<u64> = vec![0; n];
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let ready = step / 2 + (x % 7);
+            let occupy = 1 + (x >> 32) % 19;
+            let got = fast.issue(FuClass::IntAlu, ready, occupy);
+            let mut best = 0usize;
+            for (i, &b) in naive.iter().enumerate() {
+                if b < naive[best] {
+                    best = i;
+                }
+            }
+            let want = ready.max(naive[best]);
+            naive[best] = want + occupy;
+            assert_eq!(got, want, "step {step}");
+            // Decode the packed `busy << 6 | slot` keys back to times.
+            let mut a: Vec<u64> = fast.keys[0][..n].iter().map(|k| k >> 6).collect();
+            let mut b = naive.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "multisets diverged at step {step}");
+        }
     }
 }

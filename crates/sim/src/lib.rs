@@ -38,6 +38,7 @@ pub mod detailed;
 pub mod functional;
 pub mod inorder;
 pub mod metrics;
+pub mod reference;
 
 pub use branch::BranchUnit;
 pub use cache::MemoryHierarchy;

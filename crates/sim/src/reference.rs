@@ -1,0 +1,515 @@
+//! Naive reference implementations of the cache hierarchy and detailed
+//! out-of-order simulator.
+//!
+//! The live kernels in [`crate::cache`] and [`crate::detailed`] are
+//! branch-light rewrites (shift/mask set indexing, mask-wrapped rings,
+//! sorted functional-unit pools); this module keeps the obviously
+//! correct formulation — `%`/`/` arithmetic, head-pointer rings,
+//! linear earliest-free scans — with the *same* modeled semantics, so
+//! property tests can pin the optimized path bit-identical
+//! ([`SimMetrics`] must match exactly) the way `phase::reference` pins
+//! the phase kernels. Everything here is slow on purpose and not
+//! exported through the crate root's convenience re-exports.
+//!
+//! The reference carries the corrected write-back discipline (demand
+//! access before next-line prefetch, fills counting dirty-victim
+//! write-backs, clean L2 allocation on store misses, L1 dirty victims
+//! written back into the L2), so "pinned" means pinned to the fixed
+//! model, not to historical bugs.
+
+use crate::branch::BranchUnit;
+use crate::config::{CacheConfig, MachineConfig, PrefetchPolicy};
+use crate::metrics::SimMetrics;
+use mlpa_isa::stream::InstructionStream;
+use mlpa_isa::{BlockId, FuClass, OpClass, Program, Reg};
+
+/// Naive set-associative cache: `%`/`/` index math, tag-aware LRU scan.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: u64,
+    assoc: usize,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    dirty: Vec<bool>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Build a cache from its geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        cfg.validate().expect("invalid cache config");
+        let sets = cfg.sets();
+        let lines = (sets * u64::from(cfg.assoc)) as usize;
+        Cache {
+            cfg,
+            sets,
+            assoc: cfg.assoc as usize,
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            dirty: vec![false; lines],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Look up `addr`, allocating on miss. Counts hits/misses when
+    /// `demand`, always counts dirty-victim write-backs. Returns
+    /// `(hit, dirty victim line address)`.
+    fn lookup(&mut self, addr: u64, write: bool, demand: bool) -> (bool, Option<u64>) {
+        self.tick += 1;
+        let block = addr / self.cfg.line;
+        let set = (block % self.sets) as usize;
+        let tag = block / self.sets;
+        let base = set * self.assoc;
+
+        for w in 0..self.assoc {
+            if self.tags[base + w] == tag {
+                if demand {
+                    self.hits += 1;
+                }
+                self.stamps[base + w] = self.tick;
+                if write {
+                    self.dirty[base + w] = true;
+                }
+                return (true, None);
+            }
+        }
+        if demand {
+            self.misses += 1;
+        }
+        // LRU victim: prefer invalid ways, then the oldest stamp.
+        let mut victim = base;
+        let mut oldest = u64::MAX;
+        for w in 0..self.assoc {
+            let s = if self.tags[base + w] == u64::MAX { 0 } else { self.stamps[base + w] };
+            if s < oldest {
+                oldest = s;
+                victim = base + w;
+            }
+        }
+        let mut evicted = None;
+        if self.dirty[victim] && self.tags[victim] != u64::MAX {
+            self.writebacks += 1;
+            evicted = Some((self.tags[victim] * self.sets + set as u64) * self.cfg.line);
+        }
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.tick;
+        self.dirty[victim] = write;
+        (false, evicted)
+    }
+
+    /// Demand access; returns whether it hit.
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.lookup(addr, write, true).0
+    }
+
+    /// Non-demand fill: no hit/miss accounting, but a dirty victim is
+    /// still counted and its line address returned.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        self.lookup(addr, false, false).1
+    }
+
+    /// Receive an upper-level write-back: mark the line dirty if
+    /// resident, otherwise do nothing. No statistics, no LRU movement.
+    pub fn writeback(&mut self, addr: u64) {
+        let block = addr / self.cfg.line;
+        let set = (block % self.sets) as usize;
+        let tag = block / self.sets;
+        let base = set * self.assoc;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == tag {
+                self.dirty[base + w] = true;
+                return;
+            }
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Reset statistics, keep contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+}
+
+/// Naive data/instruction hierarchy with the same latency model as
+/// [`crate::cache::MemoryHierarchy`] — config fields re-read on every
+/// access instead of hoisted.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    cfg: MachineConfig,
+    l1d: Cache,
+    l1i: Cache,
+    l2: Cache,
+    last_mem_block: u64,
+    prefetches: u64,
+}
+
+impl MemoryHierarchy {
+    /// Build the hierarchy for a machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cache configuration is invalid.
+    pub fn new(cfg: &MachineConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            cfg: *cfg,
+            l1d: Cache::new(cfg.dcache),
+            l1i: Cache::new(cfg.icache),
+            l2: Cache::new(cfg.l2),
+            last_mem_block: u64::MAX,
+            prefetches: 0,
+        }
+    }
+
+    /// Prefetch fills issued so far.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+
+    fn mem_latency(&mut self, addr: u64) -> u32 {
+        let block = addr >> 10;
+        let lat = if block == self.last_mem_block || block == self.last_mem_block.wrapping_add(1) {
+            self.cfg.mem_latency_next
+        } else {
+            self.cfg.mem_latency_first
+        };
+        self.last_mem_block = block;
+        lat
+    }
+
+    /// A data access; returns `(latency, l1_hit, l2_hit)`.
+    pub fn data_access(&mut self, addr: u64, write: bool) -> (u32, bool, bool) {
+        let (l1_hit, l1_victim) = self.l1d.lookup(addr, write, true);
+        if l1_hit {
+            return (self.cfg.dcache.latency, true, false);
+        }
+        if let Some(line) = l1_victim {
+            self.l2.writeback(line);
+        }
+        let l2_hit = self.l2.access(addr, false);
+        let latency = if l2_hit {
+            self.cfg.dcache.latency + self.cfg.l2.latency
+        } else {
+            self.cfg.dcache.latency + self.cfg.l2.latency + self.mem_latency(addr)
+        };
+        if self.cfg.prefetch == PrefetchPolicy::NextLine {
+            let next = addr + self.cfg.dcache.line;
+            if let Some(line) = self.l1d.fill(next) {
+                self.l2.writeback(line);
+            }
+            self.l2.fill(next);
+            self.prefetches += 1;
+        }
+        (latency, false, l2_hit)
+    }
+
+    /// An instruction fetch; returns the added stall cycles.
+    pub fn fetch(&mut self, addr: u64) -> u32 {
+        if self.l1i.access(addr, false) {
+            return 0;
+        }
+        if self.l2.access(addr, false) {
+            return self.cfg.l2.latency;
+        }
+        self.cfg.l2.latency + self.mem_latency(addr)
+    }
+
+    /// Touch the hierarchy without timing (functional warming).
+    pub fn warm_data(&mut self, addr: u64, write: bool) {
+        let _ = self.data_access(addr, write);
+    }
+
+    /// The L1 data cache.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The L1 instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The unified L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Reset statistics on all levels, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.l1d.reset_stats();
+        self.l1i.reset_stats();
+        self.l2.reset_stats();
+    }
+}
+
+/// Naive per-class functional-unit pools: linear earliest-free scan.
+#[derive(Debug, Clone)]
+struct FuPools {
+    busy_until: [Vec<u64>; 5],
+}
+
+impl FuPools {
+    fn new(cfg: &MachineConfig) -> FuPools {
+        let mk = |n: u32| vec![0u64; n as usize];
+        FuPools {
+            busy_until: [
+                mk(cfg.fu.int_alu),
+                mk(cfg.fu.int_muldiv),
+                mk(cfg.fu.fp_add),
+                mk(cfg.fu.fp_muldiv),
+                mk(cfg.fu.load_store),
+            ],
+        }
+    }
+
+    fn class_index(class: FuClass) -> usize {
+        match class {
+            FuClass::IntAlu => 0,
+            FuClass::IntMulDiv => 1,
+            FuClass::FpAdd => 2,
+            FuClass::FpMulDiv => 3,
+            FuClass::LoadStore => 4,
+        }
+    }
+
+    fn issue(&mut self, class: FuClass, ready: u64, occupy: u64) -> u64 {
+        let pool = &mut self.busy_until[Self::class_index(class)];
+        let mut best = 0usize;
+        for (i, &b) in pool.iter().enumerate() {
+            if b < pool[best] {
+                best = i;
+            }
+        }
+        let start = ready.max(pool[best]);
+        pool[best] = start + occupy;
+        start
+    }
+}
+
+/// The naive timestamp-propagation out-of-order model: the same
+/// microarchitecture as [`crate::DetailedSim`], written with
+/// head-pointer `% len` rings and per-instruction address arithmetic,
+/// and with no observability hooks.
+#[derive(Debug)]
+pub struct DetailedSim<'p> {
+    cfg: MachineConfig,
+    program: &'p Program,
+    hier: MemoryHierarchy,
+    branch: BranchUnit,
+    fu: FuPools,
+    reg_ready: [u64; Reg::NUM_TOTAL as usize],
+    rob_ring: Vec<u64>,
+    rob_head: usize,
+    lsq_ring: Vec<u64>,
+    lsq_head: usize,
+    fetch_cycle: u64,
+    fetch_in_cycle: u32,
+    last_commit_cycle: u64,
+    commits_in_cycle: u32,
+    redirect_at: u64,
+    last_fetch_line: u64,
+}
+
+impl<'p> DetailedSim<'p> {
+    /// Create a cold reference simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    pub fn new(cfg: MachineConfig, program: &'p Program) -> DetailedSim<'p> {
+        cfg.validate().expect("invalid machine config");
+        DetailedSim {
+            hier: MemoryHierarchy::new(&cfg),
+            branch: BranchUnit::new(&cfg.predictor),
+            fu: FuPools::new(&cfg),
+            reg_ready: [0; Reg::NUM_TOTAL as usize],
+            rob_ring: vec![0; cfg.rob_entries as usize],
+            rob_head: 0,
+            lsq_ring: vec![0; cfg.lsq_entries as usize],
+            lsq_head: 0,
+            fetch_cycle: 0,
+            fetch_in_cycle: 0,
+            last_commit_cycle: 0,
+            commits_in_cycle: 0,
+            redirect_at: 0,
+            last_fetch_line: u64::MAX,
+            cfg,
+            program,
+        }
+    }
+
+    /// Install warm cache/predictor contents (timing starts cold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    pub fn with_warm_state(
+        cfg: MachineConfig,
+        program: &'p Program,
+        hier: MemoryHierarchy,
+        branch: BranchUnit,
+    ) -> DetailedSim<'p> {
+        let mut sim = DetailedSim::new(cfg, program);
+        sim.hier = hier;
+        sim.branch = branch;
+        sim
+    }
+
+    /// Simultaneous mutable access to the hierarchy and branch unit for
+    /// functional warming.
+    pub fn warm_state_mut(&mut self) -> (&mut MemoryHierarchy, &mut BranchUnit) {
+        (&mut self.hier, &mut self.branch)
+    }
+
+    /// Simulate up to `limit` instructions from `stream`, mirroring
+    /// [`crate::DetailedSim::simulate`] exactly.
+    pub fn simulate<S: InstructionStream>(&mut self, stream: &mut S, limit: u64) -> SimMetrics {
+        self.hier.reset_stats();
+        self.branch.reset_stats();
+        let start_cycle = self.last_commit_cycle;
+        let mut m = SimMetrics::default();
+        let mut buf = Vec::with_capacity(64);
+
+        while m.instructions < limit {
+            let Some(id) = stream.next_block(&mut buf) else { break };
+            self.run_block(id, &buf, &mut m);
+        }
+
+        m.cycles =
+            self.last_commit_cycle.saturating_sub(start_cycle).max(u64::from(m.instructions > 0));
+        m.l1d_hits = self.hier.l1d().hits();
+        m.l1d_misses = self.hier.l1d().misses();
+        m.l1i_hits = self.hier.l1i().hits();
+        m.l1i_misses = self.hier.l1i().misses();
+        m.l2_hits = self.hier.l2().hits();
+        m.l2_misses = self.hier.l2().misses();
+        m.branches = self.branch.predictions();
+        m.mispredicts = self.branch.mispredictions();
+        m
+    }
+
+    fn run_block(&mut self, id: BlockId, insts: &[mlpa_isa::Instruction], m: &mut SimMetrics) {
+        let block = self.program.block(id);
+        let line_mask = !(self.hier.l1i().cfg.line - 1);
+        let fallthrough = BlockId::new(id.raw().saturating_add(1));
+
+        for (i, inst) in insts.iter().enumerate() {
+            // ---- Fetch ----
+            if self.fetch_cycle < self.redirect_at {
+                self.fetch_cycle = self.redirect_at;
+                self.fetch_in_cycle = 0;
+            }
+            let pc = block.inst_addr(i as u32);
+            let line = pc & line_mask;
+            if line != self.last_fetch_line {
+                self.last_fetch_line = line;
+                let stall = self.hier.fetch(line);
+                if stall > 0 {
+                    self.fetch_cycle += u64::from(stall);
+                    self.fetch_in_cycle = 0;
+                }
+            }
+            if self.fetch_in_cycle == self.cfg.width {
+                self.fetch_cycle += 1;
+                self.fetch_in_cycle = 0;
+            }
+            self.fetch_in_cycle += 1;
+
+            // ---- Dispatch (ROB/LSQ occupancy) ----
+            let mut dispatch = self.fetch_cycle + u64::from(self.cfg.frontend_depth);
+            dispatch = dispatch.max(self.rob_ring[self.rob_head]);
+            let is_mem = inst.is_mem();
+            if is_mem {
+                dispatch = dispatch.max(self.lsq_ring[self.lsq_head]);
+            }
+
+            // ---- Issue (dependences + FU) ----
+            let mut ready = dispatch;
+            for s in inst.srcs {
+                if s.is_some() {
+                    ready = ready.max(self.reg_ready[s.index()]);
+                }
+            }
+            let occupy = if inst.op.pipelined() { 1 } else { u64::from(inst.op.latency()) };
+            let issue = self.fu.issue(inst.op.fu(), ready, occupy);
+
+            // ---- Execute ----
+            let complete = match inst.op {
+                OpClass::Load => {
+                    m.loads += 1;
+                    let (latency, _, _) = self.hier.data_access(inst.addr, false);
+                    issue + 1 + u64::from(latency)
+                }
+                OpClass::Store => {
+                    m.stores += 1;
+                    // Store-buffer retirement: cache updated, latency
+                    // off the critical path.
+                    let _ = self.hier.data_access(inst.addr, true);
+                    issue + 1
+                }
+                op => issue + u64::from(op.latency()),
+            };
+
+            if inst.dst.is_some() {
+                self.reg_ready[inst.dst.index()] = complete;
+            }
+
+            // ---- Branch resolution ----
+            if let Some(info) = &inst.branch {
+                let correct = self.branch.resolve(pc, info, fallthrough);
+                if !correct {
+                    self.redirect_at = complete + u64::from(self.cfg.predictor.mispredict_penalty);
+                }
+            }
+
+            // ---- Commit (in order, width-limited) ----
+            let mut commit = (complete + 1).max(self.last_commit_cycle);
+            if commit == self.last_commit_cycle {
+                if self.commits_in_cycle >= self.cfg.width {
+                    commit += 1;
+                    self.commits_in_cycle = 1;
+                } else {
+                    self.commits_in_cycle += 1;
+                }
+            } else {
+                self.commits_in_cycle = 1;
+            }
+            self.last_commit_cycle = commit;
+
+            self.rob_ring[self.rob_head] = commit;
+            self.rob_head = (self.rob_head + 1) % self.rob_ring.len();
+            if is_mem {
+                self.lsq_ring[self.lsq_head] = commit;
+                self.lsq_head = (self.lsq_head + 1) % self.lsq_ring.len();
+            }
+
+            m.instructions += 1;
+        }
+    }
+}

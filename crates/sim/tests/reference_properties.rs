@@ -1,0 +1,274 @@
+//! Property tests pinning the optimized detailed simulator and cache
+//! hierarchy **byte-identical** to the naive [`mlpa_sim::reference`]
+//! implementations, in the randomised SplitMix64 style of the phase
+//! crate's `kernel_properties`: every case is generated from a fork of
+//! the case index, so a failure report identifies a fully reproducible
+//! input.
+//!
+//! The pinned contract is exact equality of [`SimMetrics`] (and, at the
+//! cache layer, of every latency and counter) across randomized
+//! programs, machine configurations (including non-power-of-two
+//! ROB/LSQ capacities and prefetch on/off), warm and cold starts, and
+//! chained region boundaries.
+
+use mlpa_isa::rng::SplitMix64;
+use mlpa_isa::stream::SliceStream;
+use mlpa_isa::{BlockId, BranchKind, Instruction, OpClass, Program, ProgramBuilder, Reg};
+use mlpa_sim::config::PrefetchPolicy;
+use mlpa_sim::{reference, BranchUnit, CacheConfig, DetailedSim, FuConfig, MachineConfig};
+
+const CASES: u64 = 12;
+
+fn random_cache(
+    rng: &mut SplitMix64,
+    min_sets_log: u64,
+    sets_span: u64,
+    latency: u32,
+) -> CacheConfig {
+    let line = 32u64 << rng.range_u64(2); // 32 or 64
+    let assoc = 1u32 << rng.range_u64(3); // 1, 2, 4
+    let sets = 1u64 << (min_sets_log + rng.range_u64(sets_span));
+    CacheConfig { size: line * u64::from(assoc) * sets, assoc, line, latency }
+}
+
+fn random_config(rng: &mut SplitMix64) -> MachineConfig {
+    let mut cfg = MachineConfig::table1_base();
+    cfg.width = 1 << rng.range_u64(4); // 1..8
+                                       // Deliberately often non-power-of-two: the ring generalisation must
+                                       // hold for any capacity.
+    cfg.rob_entries = 2 + rng.range_u64(190) as u32;
+    cfg.lsq_entries = 1 + rng.range_u64(u64::from(cfg.rob_entries)) as u32;
+    cfg.frontend_depth = 1 + rng.range_u64(7) as u32;
+    cfg.fu = FuConfig {
+        int_alu: 1 + rng.range_u64(8) as u32,
+        int_muldiv: 1 + rng.range_u64(4) as u32,
+        fp_add: 1 + rng.range_u64(4) as u32,
+        fp_muldiv: 1 + rng.range_u64(4) as u32,
+        load_store: 1 + rng.range_u64(6) as u32,
+    };
+    cfg.icache = random_cache(rng, 2, 5, 1);
+    let d_lat = 1 + rng.range_u64(3) as u32;
+    cfg.dcache = random_cache(rng, 2, 5, d_lat);
+    let l2_lat = 5 + rng.range_u64(25) as u32;
+    cfg.l2 = random_cache(rng, 5, 5, l2_lat);
+    cfg.mem_latency_first = 50 + rng.range_u64(150) as u32;
+    cfg.mem_latency_next = 2 + rng.range_u64(20) as u32;
+    cfg.predictor.mispredict_penalty = 2 + rng.range_u64(12) as u32;
+    cfg.prefetch = if rng.chance(0.5) { PrefetchPolicy::NextLine } else { PrefetchPolicy::None };
+    cfg.validate().unwrap_or_else(|e| panic!("generated config invalid: {e}"));
+    cfg
+}
+
+fn random_inst(rng: &mut SplitMix64, ws: u64) -> Instruction {
+    let ri = |rng: &mut SplitMix64| Reg::int(rng.range_u64(32) as u8);
+    let rf = |rng: &mut SplitMix64| Reg::fp(rng.range_u64(32) as u8);
+    let addr = |rng: &mut SplitMix64| (0x1000_0000 + rng.next_u64() % ws) & !7;
+    match rng.range_u64(12) {
+        0..=2 => Instruction::alu(OpClass::IntAlu, ri(rng), [ri(rng), ri(rng)]),
+        3 => Instruction::alu(OpClass::IntMul, ri(rng), [ri(rng), ri(rng)]),
+        4 => Instruction::alu(OpClass::IntDiv, ri(rng), [ri(rng), ri(rng)]),
+        5 => Instruction::alu(OpClass::FpAdd, rf(rng), [rf(rng), rf(rng)]),
+        6 => Instruction::alu(OpClass::FpMul, rf(rng), [rf(rng), rf(rng)]),
+        7 => Instruction::alu(OpClass::FpDiv, rf(rng), [rf(rng), rf(rng)]),
+        8 => Instruction::nop(),
+        9..=10 => Instruction::load(ri(rng), ri(rng), addr(rng)),
+        _ => Instruction::store(ri(rng), ri(rng), addr(rng)),
+    }
+}
+
+type Trace = Vec<(BlockId, Vec<Instruction>)>;
+
+/// A random multi-block program and a random walk over its blocks, with
+/// mixed op classes, branch kinds, and a case-specific working set.
+fn random_workload(rng: &mut SplitMix64) -> (Program, Trace) {
+    let nblocks = 2 + rng.range_usize(6);
+    let mut b = ProgramBuilder::new("prop");
+    let lens: Vec<u32> = (0..nblocks).map(|_| 4 + rng.range_u64(28) as u32).collect();
+    let ids: Vec<BlockId> = lens.iter().map(|&l| b.add_block(l)).collect();
+    let prog = b.finish();
+    let ws = 1u64 << (10 + rng.range_u64(12)); // 1 KiB .. 2 MiB
+    let dyn_blocks = 100 + rng.range_usize(300);
+    let mut trace = Vec::with_capacity(dyn_blocks);
+    let mut cur = 0usize;
+    for _ in 0..dyn_blocks {
+        let len = lens[cur] as usize;
+        let next = rng.range_usize(nblocks);
+        let mut insts: Vec<Instruction> = (0..len - 1).map(|_| random_inst(rng, ws)).collect();
+        let kind = match rng.range_u64(5) {
+            0 => BranchKind::Jump,
+            1 => BranchKind::Call,
+            2 => BranchKind::Return,
+            3 => BranchKind::Indirect,
+            _ => BranchKind::Conditional,
+        };
+        insts.push(Instruction::branch(kind, Reg::int(1), rng.chance(0.6), ids[next]));
+        trace.push((ids[cur], insts));
+        cur = next;
+    }
+    (prog, trace)
+}
+
+#[test]
+fn detailed_sim_matches_reference_cold() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xD7A1).fork(case);
+        let cfg = random_config(&mut rng);
+        let (prog, trace) = random_workload(&mut rng);
+        let mut fast = DetailedSim::new(cfg, &prog);
+        let mut naive = reference::DetailedSim::new(cfg, &prog);
+        let got = fast.simulate(&mut SliceStream::new(&trace), u64::MAX);
+        let want = naive.simulate(&mut SliceStream::new(&trace), u64::MAX);
+        assert_eq!(got, want, "case {case}: cold run diverged under {cfg:?}");
+        assert!(got.instructions > 0, "case {case}: degenerate trace");
+    }
+}
+
+#[test]
+fn detailed_sim_matches_reference_across_region_boundaries() {
+    // Chained `simulate` calls carry microarchitectural state across
+    // regions; the optimized rings/pools must telescope exactly like
+    // the reference's, region by region, including limits landing
+    // mid-trace.
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB0DA).fork(case);
+        let cfg = random_config(&mut rng);
+        let (prog, trace) = random_workload(&mut rng);
+        let mut fast = DetailedSim::new(cfg, &prog);
+        let mut naive = reference::DetailedSim::new(cfg, &prog);
+        let mut fs = SliceStream::new(&trace);
+        let mut ns = SliceStream::new(&trace);
+        for region in 0..4 {
+            let limit = 1 + rng.range_u64(2_000);
+            let got = fast.simulate(&mut fs, limit);
+            let want = naive.simulate(&mut ns, limit);
+            assert_eq!(got, want, "case {case} region {region}: diverged under {cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn detailed_sim_matches_reference_from_warm_state() {
+    // Both sides warm their (structurally different) hierarchies and a
+    // shared-cloned branch unit with the identical access sequence,
+    // install the state via `with_warm_state`, and must then agree
+    // exactly on the measured region.
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3A1A).fork(case);
+        let cfg = random_config(&mut rng);
+        let (prog, trace) = random_workload(&mut rng);
+
+        let mut fast_h = mlpa_sim::MemoryHierarchy::new(&cfg);
+        let mut naive_h = reference::MemoryHierarchy::new(&cfg);
+        let mut bu = BranchUnit::new(&cfg.predictor);
+        let ws = 1u64 << (10 + rng.range_u64(10));
+        for _ in 0..5_000 {
+            let addr = (0x2000_0000 + rng.next_u64() % ws) & !7;
+            let write = rng.chance(0.3);
+            fast_h.warm_data(addr, write);
+            naive_h.warm_data(addr, write);
+            if rng.chance(0.2) {
+                let line = (0x40_0000 + rng.next_u64() % 0x4000) & !31;
+                let _ = fast_h.fetch(line);
+                let _ = naive_h.fetch(line);
+            }
+        }
+        for (id, insts) in trace.iter().take(40) {
+            let block_pc = 0x40_0000 + u64::from(id.raw()) * 0x100;
+            if let Some(info) = &insts[insts.len() - 1].branch {
+                bu.warm(block_pc, info, BlockId::new(id.raw() + 1));
+            }
+        }
+
+        let mut fast = DetailedSim::with_warm_state(cfg, &prog, fast_h, bu.clone());
+        let mut naive = reference::DetailedSim::with_warm_state(cfg, &prog, naive_h, bu);
+        let got = fast.simulate(&mut SliceStream::new(&trace), u64::MAX);
+        let want = naive.simulate(&mut SliceStream::new(&trace), u64::MAX);
+        assert_eq!(got, want, "case {case}: warm-start run diverged under {cfg:?}");
+    }
+}
+
+#[test]
+fn cache_matches_reference_on_random_operation_sequences() {
+    // The cache layer alone: random interleavings of demand accesses,
+    // non-demand fills, and upper-level write-backs must leave the
+    // shift/mask implementation with exactly the naive `%`/`/` one's
+    // per-operation results and counters.
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xCAC4E).fork(case);
+        let cfg = random_cache(&mut rng, 1, 6, 1);
+        let mut fast = mlpa_sim::cache::Cache::new(cfg);
+        let mut naive = reference::Cache::new(cfg);
+        let ws = cfg.size * (1 + rng.range_u64(8));
+        for step in 0..20_000u64 {
+            let addr = rng.next_u64() % ws;
+            match rng.range_u64(10) {
+                0..=6 => {
+                    let write = rng.chance(0.4);
+                    let got = fast.access(addr, write).is_hit();
+                    let want = naive.access(addr, write);
+                    assert_eq!(got, want, "case {case} step {step}: access({addr:#x}, {write})");
+                }
+                7..=8 => {
+                    assert_eq!(
+                        fast.fill(addr),
+                        naive.fill(addr),
+                        "case {case} step {step}: fill({addr:#x}) victim"
+                    );
+                }
+                _ => {
+                    fast.writeback(addr);
+                    naive.writeback(addr);
+                }
+            }
+        }
+        assert_eq!(
+            (fast.hits(), fast.misses(), fast.writebacks()),
+            (naive.hits(), naive.misses(), naive.writebacks()),
+            "case {case}: counters diverged under {cfg:?}"
+        );
+    }
+}
+
+#[test]
+fn hierarchy_matches_reference_on_random_access_sequences() {
+    // The two-level hierarchy: latencies (including the burst memory
+    // model), per-level hit/miss/write-back counters, and prefetch
+    // counts must match operation for operation.
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x41E4).fork(case);
+        let cfg = random_config(&mut rng);
+        let mut fast = mlpa_sim::MemoryHierarchy::new(&cfg);
+        let mut naive = reference::MemoryHierarchy::new(&cfg);
+        let ws = 1u64 << (12 + rng.range_u64(10));
+        for step in 0..30_000u64 {
+            if rng.chance(0.8) {
+                let addr = (0x1000_0000 + rng.next_u64() % ws) & !7;
+                let write = rng.chance(0.35);
+                let got = fast.data_access(addr, write);
+                let (latency, l1_hit, l2_hit) = naive.data_access(addr, write);
+                assert_eq!(
+                    (got.latency, got.l1_hit, got.l2_hit),
+                    (latency, l1_hit, l2_hit),
+                    "case {case} step {step}: data_access({addr:#x}, {write})"
+                );
+            } else {
+                let line = (0x40_0000 + rng.next_u64() % 0x10000) & !31;
+                assert_eq!(
+                    fast.fetch(line),
+                    naive.fetch(line),
+                    "case {case} step {step}: fetch({line:#x})"
+                );
+            }
+        }
+        for (level, (f, n)) in [
+            ("l1d", (fast.l1d().hits(), naive.l1d().hits())),
+            ("l1i", (fast.l1i().hits(), naive.l1i().hits())),
+            ("l2", (fast.l2().hits(), naive.l2().hits())),
+        ] {
+            assert_eq!(f, n, "case {case}: {level} hits diverged");
+        }
+        assert_eq!(fast.l1d().writebacks(), naive.l1d().writebacks(), "case {case}");
+        assert_eq!(fast.l2().writebacks(), naive.l2().writebacks(), "case {case}");
+        assert_eq!(fast.prefetches(), naive.prefetches(), "case {case}");
+    }
+}
