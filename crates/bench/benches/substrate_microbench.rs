@@ -96,6 +96,38 @@ fn bench_substrate(c: &mut Criterion) {
     cache_group.finish();
 }
 
+/// The streaming profiling pass: `ProfilingContext::prepare` monolithic
+/// versus segment-sharded under the chained driver (one metadata walk,
+/// no instruction materialisation, O(1)-per-block shard profilers).
+/// The two must merge bit-identically before their cost is compared —
+/// the speedup this group derives is the paper-scale profiling win the
+/// perf baseline tracks.
+fn bench_streaming(c: &mut Criterion) {
+    use mlpa_core::pipeline::{ProfilingContext, ProjectionSettings, ShardDriver, FINE_INTERVAL};
+    let spec = suite::benchmark_with_iters("eon", 1).expect("eon").scaled(0.25);
+    let cb = CompiledBenchmark::compile(&spec).expect("compiles");
+    let trace_len = drain_count(WorkloadStream::new(&cb)).instructions;
+    let run = |shards: usize| {
+        let mut ctx = ProfilingContext::new(&cb, ProjectionSettings::default(), FINE_INTERVAL);
+        ctx.set_shards(shards);
+        ctx.set_shard_driver(ShardDriver::Chained);
+        ctx.prepare();
+        (ctx.loop_profile().clone(), ctx.fine_intervals().to_vec())
+    };
+    assert_eq!(run(8), run(1), "sharded prepare diverged from the monolithic pass");
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace_len));
+    group.bench_function("prepare_sharded8", |b| {
+        b.iter(|| run(black_box(8)));
+    });
+    group.bench_function("prepare_monolithic", |b| {
+        b.iter(|| run(black_box(1)));
+    });
+    group.finish();
+}
+
 fn bench_kmeans(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans");
     group.sample_size(10);
@@ -351,10 +383,10 @@ fn write_bench_json(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
         ));
     }
     out.push_str("  ],\n");
-    let [(_, pipeline), (_, sweep), (_, kmeans_speedup), (_, detailed)] =
+    let [(_, pipeline), (_, sweep), (_, kmeans_speedup), (_, detailed), (_, streaming)] =
         derived_speedups(measurements);
     out.push_str(&format!(
-        "  \"speedups\": {{ \"phase_pipeline\": {pipeline:.2}, \"phase_sweep\": {sweep:.2}, \"kmeans\": {kmeans_speedup:.2}, \"detailed_sim\": {detailed:.2} }}\n"
+        "  \"speedups\": {{ \"phase_pipeline\": {pipeline:.2}, \"phase_sweep\": {sweep:.2}, \"kmeans\": {kmeans_speedup:.2}, \"detailed_sim\": {detailed:.2}, \"streaming\": {streaming:.2} }}\n"
     ));
     out.push_str("}\n");
     if let Err(e) = std::fs::write(path, &out) {
@@ -363,13 +395,13 @@ fn write_bench_json(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
         println!("wrote bench baseline to {}", path.to_string_lossy());
         println!(
             "speedups: phase_pipeline {pipeline:.2}x, phase_sweep {sweep:.2}x, \
-             kmeans {kmeans_speedup:.2}x, detailed_sim {detailed:.2}x"
+             kmeans {kmeans_speedup:.2}x, detailed_sim {detailed:.2}x, streaming {streaming:.2}x"
         );
     }
 }
 
 /// Derived kernel speedups (naive-over-current mean ratios).
-fn derived_speedups(measurements: &[criterion::Measurement]) -> [(&'static str, f64); 4] {
+fn derived_speedups(measurements: &[criterion::Measurement]) -> [(&'static str, f64); 5] {
     let ratio = |group: &str, naive: &str, current: &str| match (
         mean_of(measurements, group, naive),
         mean_of(measurements, group, current),
@@ -382,6 +414,7 @@ fn derived_speedups(measurements: &[criterion::Measurement]) -> [(&'static str, 
         ("phase_sweep", ratio("phase_sweep", "naive", "current")),
         ("kmeans", ratio("kmeans", "k10_n2000_d15_naive", "k10_n2000_d15")),
         ("detailed_sim", ratio("substrate", "detailed_sim_reference", "detailed_sim")),
+        ("streaming", ratio("streaming", "prepare_monolithic", "prepare_sharded8")),
     ]
 }
 
@@ -453,6 +486,7 @@ fn write_trajectory(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
 fn main() {
     let mut criterion = Criterion::default();
     bench_substrate(&mut criterion);
+    bench_streaming(&mut criterion);
     bench_kmeans(&mut criterion);
     bench_phase_pipeline(&mut criterion);
     bench_obs_overhead(&mut criterion);

@@ -22,6 +22,10 @@
 //!   --cold            cold fast-forward (no warming) — scale-amplified
 //!   --jobs N          worker threads for the suite run (default 0 = all
 //!                     cores); results are bit-identical for every N
+//!   --shards N        trace segments per profiling pass (default 1 =
+//!                     monolithic); shards profile concurrently without
+//!                     materialising the prefix, and their merge is
+//!                     bit-identical to the monolithic pass for every N
 //!   --ratio R         cost-model ratio c_d/c_f (default: paper 32.5)
 //!   --measured-ratio  also report speedups at the measured ratio
 //!   --out DIR         output directory (default: results)
@@ -55,6 +59,7 @@ struct Options {
     scale: f64,
     cold: bool,
     jobs: usize,
+    shards: usize,
     ratio: f64,
     measured_ratio: bool,
     out: PathBuf,
@@ -75,6 +80,7 @@ fn parse_args() -> Result<Options, String> {
         scale: 1.0,
         cold: false,
         jobs: 0,
+        shards: 1,
         ratio: 32.5,
         measured_ratio: false,
         out: PathBuf::from("results"),
@@ -105,6 +111,13 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--jobs needs a value")?
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--shards" => {
+                o.shards = args
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
             }
             "--iters" => {
                 o.iters = args
@@ -284,6 +297,7 @@ fn run(o: &Options) -> Result<(), String> {
             suite,
             warmup: if o.cold { WarmupMode::Cold } else { WarmupMode::Warmed },
             jobs: o.jobs,
+            shards: o.shards.max(1),
             cache: cache.clone(),
             ..harness::Experiment::default()
         };
@@ -374,8 +388,15 @@ fn run(o: &Options) -> Result<(), String> {
     // per-phase wall clock, per-worker utilization, counter totals.
     if o.obs.is_some() && mlpa_obs::is_enabled() {
         let path = o.out.join("RUN_REPORT.json");
-        let extra: Vec<(String, String)> =
+        let mut extra: Vec<(String, String)> =
             attribution_json.into_iter().map(|j| ("attribution".to_string(), j)).collect();
+        // Peak RSS is machine/allocator-dependent, so it lives in its
+        // own `resources` section that obs-diff does not gate on —
+        // alongside wall-clock, it documents the memory footprint of
+        // paper-scale (--scale 1.0 --shards N) runs.
+        if let Some(rss) = mlpa_obs::peak_rss_bytes() {
+            extra.push(("resources".to_string(), format!("{{\"peak_rss_bytes\": {rss}}}")));
+        }
         fs::write(&path, mlpa_obs::report().to_json_with(&extra))
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         info!("obs", "wrote {}", path.display());

@@ -99,6 +99,12 @@ pub struct Experiment {
     /// default), `0` = every available core, `n` = a pool of `n`.
     /// Results are bit-identical for every value.
     pub jobs: usize,
+    /// Trace segments per profiling pass (1 = monolithic). Each shard
+    /// fast-forwards to its segment without materialising instructions
+    /// and profiles only its slice; the merge is bit-identical to the
+    /// monolithic pass, so this is purely a wall-clock/streaming knob
+    /// for paper-scale traces.
+    pub shards: usize,
     /// Optional artifact cache: profiling passes, selections, ground
     /// truths, and plan executions consult and populate it, so a
     /// repeated or resumed run skips completed work. Results are
@@ -117,6 +123,7 @@ impl Default for Experiment {
             fine: SimPointConfig::fine_10m(),
             fine_interval: FINE_INTERVAL,
             jobs: 1,
+            shards: 1,
             cache: None,
         }
     }
@@ -159,6 +166,7 @@ impl Experiment {
         // the boundary pass runs once, and multi-level reuses the
         // COASTS selection instead of recomputing it.
         let mut ctx = ProfilingContext::new(&cb, self.coasts.projection, self.fine_interval);
+        ctx.set_shards(self.shards);
         if let Some(cache) = &self.cache {
             ctx.set_cache(cache.clone());
         }
@@ -473,6 +481,13 @@ mod tests {
             let order: Vec<String> = results.iter().map(|r| r.name.clone()).collect();
             assert_eq!(streamed, order, "jobs={jobs} progress order");
         }
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical() {
+        let serial = tiny().run(|_| {}).unwrap();
+        let sharded = Experiment { shards: 6, ..tiny() }.run(|_| {}).unwrap();
+        assert_same_results(&serial, &sharded);
     }
 
     #[test]

@@ -496,7 +496,8 @@ pub fn execute_plan_cached(
 /// stops it from being replayed against a benchmark whose trace length
 /// differs; the weights would then silently misrepresent the program
 /// and produce wrong-but-plausible metrics. This entry point measures
-/// the stream's real length (one functional pass, see
+/// the stream's real length (one metadata walk — control-flow draws
+/// only, no instruction materialisation, see
 /// [`crate::pipeline::trace_insts`]) and refuses to execute on a
 /// mismatch.
 ///

@@ -3,12 +3,17 @@
 
 use std::sync::Arc;
 
-use crate::artifact::BoundaryArtifact;
+use crate::artifact::{BoundaryArtifact, BoundaryShardArtifact, ProfileShardArtifact};
 use crate::cache::{ArtifactCache, CacheKey};
 use crate::plan::{PlanPoint, SimulationPlan};
+use mlpa_isa::stream::InstructionStream;
 use mlpa_phase::interval::{BoundaryProfiler, FixedLengthProfiler, Interval};
 use mlpa_phase::loops::{LoopMonitor, LoopProfile};
 use mlpa_phase::project::RandomProjection;
+use mlpa_phase::shard::{
+    merge_boundary, merge_fine, merge_loops, BoundaryTracker, FineCutTracker, LoopStackTracker,
+    ShardBoundaryProfiler, ShardFineProfiler, ShardLoopMonitor,
+};
 use mlpa_phase::simpoint::{select, SimPointConfig, SimPoints};
 use mlpa_sim::FunctionalSim;
 use mlpa_workloads::{CompiledBenchmark, WorkloadStream};
@@ -40,6 +45,47 @@ impl ProjectionSettings {
     /// Materialise the projection for a benchmark's program.
     pub fn build(&self, cb: &CompiledBenchmark) -> RandomProjection {
         RandomProjection::new(cb.program().num_blocks(), self.dim, self.seed)
+    }
+}
+
+/// How a sharded profiling pass schedules its segments.
+///
+/// Both drivers produce bit-identical artifacts and merges; they differ
+/// only in wall-clock shape:
+///
+/// * [`ShardDriver::Chained`] streams the trace **once** on the calling
+///   thread, handing consecutive segments to freshly seeded shard
+///   profilers — no prefix replay, so total work is one metadata walk
+///   plus the (cheap, O(1)-per-block) shard profilers.
+/// * [`ShardDriver::Threaded`] runs every segment on its own scoped
+///   thread; each worker fast-forwards through its prefix with the
+///   metadata walk and profiles only its slice. Wall-clock is the
+///   longest single shard (≈ one metadata walk for the last segment),
+///   with the profiling work and any cache hits overlapped across
+///   cores.
+/// * [`ShardDriver::Auto`] (the default) picks `Threaded` when the
+///   machine reports more than one available core, `Chained` otherwise
+///   — on a single core prefix replay costs ~`shards/2` extra walks
+///   for nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardDriver {
+    /// Decide from `std::thread::available_parallelism()`.
+    #[default]
+    Auto,
+    /// Single-threaded, single-pass segment chaining.
+    Chained,
+    /// One scoped worker thread per segment with prefix fast-forward.
+    Threaded,
+}
+
+impl ShardDriver {
+    /// Resolve `Auto` against the machine's available parallelism.
+    fn threaded(self) -> bool {
+        match self {
+            ShardDriver::Chained => false,
+            ShardDriver::Threaded => true,
+            ShardDriver::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        }
     }
 }
 
@@ -89,6 +135,10 @@ pub struct ProfilingContext<'b> {
     fine_intervals: Option<Vec<Interval>>,
     boundary: Option<BoundaryPass>,
     cache: Option<Arc<ArtifactCache>>,
+    /// Segment shards for the profiling passes (1 = monolithic).
+    shards: usize,
+    /// How sharded passes schedule their segments.
+    driver: ShardDriver,
 }
 
 impl<'b> ProfilingContext<'b> {
@@ -108,7 +158,27 @@ impl<'b> ProfilingContext<'b> {
             fine_intervals: None,
             boundary: None,
             cache: None,
+            shards: 1,
+            driver: ShardDriver::Auto,
         }
+    }
+
+    /// Split the profiling passes into `shards` trace segments run on
+    /// worker threads (1 = the monolithic single-thread pass). The
+    /// merged output is bit-identical to the monolithic pass — pinned
+    /// by `sharded_profiling.rs` and the `mlpa-phase` property tests —
+    /// so this is purely a wall-clock/streaming lever: each worker
+    /// fast-forwards to its segment with the metadata walk (no
+    /// instruction materialisation) and profiles only its slice.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// Override how sharded passes schedule their segments (default:
+    /// [`ShardDriver::Auto`]). Scheduling never changes results — both
+    /// drivers emit identical per-shard artifacts and merges.
+    pub fn set_shard_driver(&mut self, driver: ShardDriver) {
+        self.driver = driver;
     }
 
     /// Attach an artifact cache: every profiling pass first consults it
@@ -148,6 +218,18 @@ impl<'b> ProfilingContext<'b> {
             .field("header", &header.raw())
     }
 
+    /// Key of one segment shard of the combined pass. The shard count
+    /// is part of the key: segment boundaries derive from it, so shards
+    /// of different partitions are not interchangeable (their *merge*
+    /// is identical, their pieces are not).
+    fn profile_shard_key(&self, shards: usize, k: usize) -> CacheKey {
+        self.fine_key().field("shards", &shards).field("shard", &k)
+    }
+
+    fn boundary_shard_key(&self, header: mlpa_isa::BlockId, shards: usize, k: usize) -> CacheKey {
+        self.boundary_key(header).field("shards", &shards).field("shard", &k)
+    }
+
     /// The shared projection matrix.
     pub fn projection(&self) -> &RandomProjection {
         &self.projection
@@ -178,6 +260,10 @@ impl<'b> ProfilingContext<'b> {
                 return;
             }
         }
+        if self.shards > 1 {
+            self.prepare_sharded();
+            return;
+        }
         let _span = mlpa_obs::span("core.profile.base_pass");
         mlpa_obs::add("core.profile.base_passes", 1);
         let mut monitor = LoopMonitor::new(self.cb.program());
@@ -195,6 +281,282 @@ impl<'b> ProfilingContext<'b> {
         }
         self.loop_profile = Some(profile);
         self.fine_intervals = Some(intervals);
+    }
+
+    /// Segment targets for an `N`-way partition of the trace: shard `k`
+    /// owns blocks whose first instruction lands in
+    /// `[targets[k], targets[k+1])`. Targets derive from the spec's
+    /// nominal length (O(1) — no trace-length pre-pass); the last shard
+    /// absorbs the generator's stochastic drift by running to the end
+    /// of the stream. Both sides of every boundary apply the same rule,
+    /// so the partition is exact, gap-free, and overlap-free for any
+    /// actual trace length.
+    fn shard_targets(&self, shards: usize) -> Vec<u64> {
+        let nominal = self.cb.spec().nominal_insts().max(1);
+        let mut t: Vec<u64> = (0..shards as u64).map(|k| k * nominal / shards as u64).collect();
+        t.push(u64::MAX);
+        t
+    }
+
+    /// The combined pass, sharded: each worker fast-forwards to its
+    /// segment with the metadata walk (cursor skips instead of
+    /// instruction materialisation, running O(1)-per-block trackers to
+    /// align the profiler state), profiles its slice, and the shards
+    /// merge bit-identically to the monolithic pass. Per-shard products
+    /// go through the artifact cache, so a killed run resumes at the
+    /// last completed segment.
+    fn prepare_sharded(&mut self) {
+        let _span = mlpa_obs::span("core.profile.shard_pass");
+        mlpa_obs::add("core.profile.shard_passes", 1);
+        let shards = self.shards;
+        let targets = self.shard_targets(shards);
+        let keys: Vec<CacheKey> = (0..shards).map(|k| self.profile_shard_key(shards, k)).collect();
+        let arts = if self.driver.threaded() {
+            self.profile_shards_threaded(&targets, &keys)
+        } else {
+            self.profile_shards_chained(&targets, &keys)
+        };
+        let mut pieces = Vec::with_capacity(shards);
+        let mut loops = Vec::with_capacity(shards);
+        for a in arts {
+            pieces.push(a.pieces);
+            loops.push(a.loops);
+        }
+        let intervals = merge_fine(pieces);
+        let profile = merge_loops(loops);
+        if let Some(cache) = &self.cache {
+            cache.put(&self.loop_key(), &profile);
+            cache.put(&self.fine_key(), &intervals);
+        }
+        self.loop_profile = Some(profile);
+        self.fine_intervals = Some(intervals);
+    }
+
+    /// Chained driver for the combined pass: stream the trace once,
+    /// carrying the cut/stack trackers continuously, and hand each
+    /// consecutive segment to freshly seeded shard profilers. No prefix
+    /// is ever replayed, so the whole pass costs one metadata walk plus
+    /// the O(1)-per-block profilers — the fast path on a single core.
+    /// Cache-hit segments still advance the stream and trackers (to
+    /// keep alignment) but skip the profiler work.
+    fn profile_shards_chained(
+        &self,
+        targets: &[u64],
+        keys: &[CacheKey],
+    ) -> Vec<ProfileShardArtifact> {
+        let cache = self.cache.clone();
+        let mut stream = WorkloadStream::new(self.cb);
+        let mut scratch = Vec::new();
+        let mut fine_t = FineCutTracker::new(self.fine_interval);
+        let mut loop_t = LoopStackTracker::new(self.cb.program());
+        let mut arts = Vec::with_capacity(keys.len());
+        for (k, key) in keys.iter().enumerate() {
+            let t_end = targets[k + 1];
+            if let Some(a) = cache.as_ref().and_then(|c| c.get::<ProfileShardArtifact>(key)) {
+                mlpa_obs::add("core.profile.shard_resumes", 1);
+                while stream.emitted() < t_end {
+                    let Some(m) = stream.next_block_meta(&mut scratch) else { break };
+                    fine_t.record(m.insts);
+                    loop_t.record(m.id);
+                }
+                arts.push(a);
+                continue;
+            }
+            let _span = mlpa_obs::span("core.profile.shard");
+            mlpa_obs::add("core.profile.shards_run", 1);
+            let mut prof = ShardFineProfiler::new(&self.projection, self.fine_interval, &fine_t);
+            let mut mon = ShardLoopMonitor::new(loop_t.clone());
+            while stream.emitted() < t_end {
+                let Some(m) = stream.next_block_meta(&mut scratch) else { break };
+                fine_t.record(m.insts);
+                loop_t.record(m.id);
+                prof.record(m.id, m.insts);
+                mon.record(m.id, m.insts);
+            }
+            let art = ProfileShardArtifact { pieces: prof.finish(), loops: mon.finish() };
+            if let Some(c) = &cache {
+                c.put(key, &art);
+            }
+            arts.push(art);
+        }
+        arts
+    }
+
+    /// Threaded driver for the combined pass: one scoped worker per
+    /// segment, each fast-forwarding through its prefix with the
+    /// metadata walk before profiling its slice.
+    fn profile_shards_threaded(
+        &self,
+        targets: &[u64],
+        keys: &[CacheKey],
+    ) -> Vec<ProfileShardArtifact> {
+        let cb = self.cb;
+        let projection = &self.projection;
+        let fine_interval = self.fine_interval;
+        let cache = self.cache.clone();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = keys
+                .iter()
+                .enumerate()
+                .map(|(k, key)| {
+                    let cache = cache.clone();
+                    let targets = &targets;
+                    scope.spawn(move || {
+                        if let Some(c) = &cache {
+                            if let Some(a) = c.get::<ProfileShardArtifact>(key) {
+                                mlpa_obs::add("core.profile.shard_resumes", 1);
+                                return a;
+                            }
+                        }
+                        let _span = mlpa_obs::span("core.profile.shard");
+                        mlpa_obs::add("core.profile.shards_run", 1);
+                        let (t_begin, t_end) = (targets[k], targets[k + 1]);
+                        let mut stream = WorkloadStream::new(cb);
+                        let mut scratch = Vec::new();
+                        let mut fine_t = FineCutTracker::new(fine_interval);
+                        let mut loop_t = LoopStackTracker::new(cb.program());
+                        while stream.emitted() < t_begin {
+                            let Some(m) = stream.next_block_meta(&mut scratch) else { break };
+                            fine_t.record(m.insts);
+                            loop_t.record(m.id);
+                        }
+                        let mut prof = ShardFineProfiler::new(projection, fine_interval, &fine_t);
+                        let mut mon = ShardLoopMonitor::new(loop_t);
+                        while stream.emitted() < t_end {
+                            let Some(m) = stream.next_block_meta(&mut scratch) else { break };
+                            prof.record(m.id, m.insts);
+                            mon.record(m.id, m.insts);
+                        }
+                        let art =
+                            ProfileShardArtifact { pieces: prof.finish(), loops: mon.finish() };
+                        if let Some(c) = &cache {
+                            c.put(key, &art);
+                        }
+                        art
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        })
+    }
+
+    /// The boundary pass, sharded (see [`ProfilingContext::prepare`]'s
+    /// sharded variant): per-segment boundary pieces merge into the
+    /// monolithic pass's output bit-for-bit.
+    fn boundary_pass_sharded(&self, header: mlpa_isa::BlockId) -> (Vec<Interval>, bool) {
+        let _span = mlpa_obs::span("core.profile.shard_boundary_pass");
+        let shards = self.shards;
+        let targets = self.shard_targets(shards);
+        let keys: Vec<CacheKey> =
+            (0..shards).map(|k| self.boundary_shard_key(header, shards, k)).collect();
+        let arts = if self.driver.threaded() {
+            self.boundary_shards_threaded(&targets, &keys, header)
+        } else {
+            self.boundary_shards_chained(&targets, &keys, header)
+        };
+        merge_boundary(arts.into_iter().map(|a| (a.pieces, a.first_header_pos)))
+    }
+
+    /// Chained driver for the boundary pass — single stream, no prefix
+    /// replay, tracker carried across segment boundaries (see
+    /// [`ProfilingContext::profile_shards_chained`]).
+    fn boundary_shards_chained(
+        &self,
+        targets: &[u64],
+        keys: &[CacheKey],
+        header: mlpa_isa::BlockId,
+    ) -> Vec<BoundaryShardArtifact> {
+        let cache = self.cache.clone();
+        let mut stream = WorkloadStream::new(self.cb);
+        let mut scratch = Vec::new();
+        let mut tracker = BoundaryTracker::new(header);
+        let mut arts = Vec::with_capacity(keys.len());
+        for (k, key) in keys.iter().enumerate() {
+            let t_end = targets[k + 1];
+            if let Some(a) = cache.as_ref().and_then(|c| c.get::<BoundaryShardArtifact>(key)) {
+                mlpa_obs::add("core.profile.shard_resumes", 1);
+                while stream.emitted() < t_end {
+                    let Some(m) = stream.next_block_meta(&mut scratch) else { break };
+                    tracker.record(m.id, m.insts);
+                }
+                arts.push(a);
+                continue;
+            }
+            let _span = mlpa_obs::span("core.profile.shard");
+            mlpa_obs::add("core.profile.shards_run", 1);
+            let mut prof = ShardBoundaryProfiler::new(&self.projection, &tracker);
+            while stream.emitted() < t_end {
+                let Some(m) = stream.next_block_meta(&mut scratch) else { break };
+                tracker.record(m.id, m.insts);
+                prof.record(m.id, m.insts);
+            }
+            let (pieces, first_header_pos) = prof.finish();
+            let art = BoundaryShardArtifact { pieces, first_header_pos };
+            if let Some(c) = &cache {
+                c.put(key, &art);
+            }
+            arts.push(art);
+        }
+        arts
+    }
+
+    /// Threaded driver for the boundary pass — one scoped worker per
+    /// segment with prefix fast-forward.
+    fn boundary_shards_threaded(
+        &self,
+        targets: &[u64],
+        keys: &[CacheKey],
+        header: mlpa_isa::BlockId,
+    ) -> Vec<BoundaryShardArtifact> {
+        let cb = self.cb;
+        let projection = &self.projection;
+        let cache = self.cache.clone();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = keys
+                .iter()
+                .enumerate()
+                .map(|(k, key)| {
+                    let cache = cache.clone();
+                    let targets = &targets;
+                    scope.spawn(move || {
+                        if let Some(c) = &cache {
+                            if let Some(a) = c.get::<BoundaryShardArtifact>(key) {
+                                mlpa_obs::add("core.profile.shard_resumes", 1);
+                                return a;
+                            }
+                        }
+                        let _span = mlpa_obs::span("core.profile.shard");
+                        mlpa_obs::add("core.profile.shards_run", 1);
+                        let (t_begin, t_end) = (targets[k], targets[k + 1]);
+                        let mut stream = WorkloadStream::new(cb);
+                        let mut scratch = Vec::new();
+                        let mut tracker = BoundaryTracker::new(header);
+                        while stream.emitted() < t_begin {
+                            let Some(m) = stream.next_block_meta(&mut scratch) else { break };
+                            tracker.record(m.id, m.insts);
+                        }
+                        let mut prof = ShardBoundaryProfiler::new(projection, &tracker);
+                        while stream.emitted() < t_end {
+                            let Some(m) = stream.next_block_meta(&mut scratch) else { break };
+                            prof.record(m.id, m.insts);
+                        }
+                        let (pieces, first_header_pos) = prof.finish();
+                        let art = BoundaryShardArtifact { pieces, first_header_pos };
+                        if let Some(c) = &cache {
+                            c.put(key, &art);
+                        }
+                        art
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        })
     }
 
     /// The loop (cyclic-structure) profile of the trace.
@@ -255,10 +617,14 @@ impl<'b> ProfilingContext<'b> {
         if stale {
             let _span = mlpa_obs::span("core.profile.boundary_pass");
             mlpa_obs::add("core.profile.boundary_passes", 1);
-            let mut prof = BoundaryProfiler::new(&self.projection, header);
-            FunctionalSim::new(self.cb.program()).run(WorkloadStream::new(self.cb), &mut prof);
-            let has_prologue = prof.has_prologue();
-            let intervals = prof.finish();
+            let (intervals, has_prologue) = if self.shards > 1 {
+                self.boundary_pass_sharded(header)
+            } else {
+                let mut prof = BoundaryProfiler::new(&self.projection, header);
+                FunctionalSim::new(self.cb.program()).run(WorkloadStream::new(self.cb), &mut prof);
+                let has_prologue = prof.has_prologue();
+                (prof.finish(), has_prologue)
+            };
             if let Some(cache) = &self.cache {
                 cache.put(
                     &self.boundary_key(header),
@@ -277,12 +643,14 @@ impl<'b> ProfilingContext<'b> {
 }
 
 /// Measure a benchmark's exact trace length (total instruction count)
-/// with one functional drain of the stream. `CompiledBenchmark` does
-/// not record this statically, so plan/trace compatibility checks (see
+/// with one metadata drain of the stream: all control-flow draws run,
+/// but no instruction words are materialised, so this costs a fraction
+/// of a functional pass. `CompiledBenchmark` does not record the length
+/// statically, so plan/trace compatibility checks (see
 /// [`crate::estimate::execute_plan_checked`]) measure it here.
 pub fn trace_insts(cb: &CompiledBenchmark) -> u64 {
     let _span = mlpa_obs::span("core.profile.trace_len");
-    FunctionalSim::new(cb.program()).run(WorkloadStream::new(cb), &mut ()).instructions
+    mlpa_isa::stream::drain_meta_count(WorkloadStream::new(cb)).instructions
 }
 
 /// Profile a benchmark into fixed-length intervals (one functional

@@ -130,6 +130,20 @@ impl SplitMix64 {
     pub fn fork(&self, tag: u64) -> SplitMix64 {
         SplitMix64::new(mix(self.state ^ mix(tag ^ GOLDEN_GAMMA)))
     }
+
+    /// Skip `n` draws in O(1): the state advances by the golden gamma
+    /// once per [`SplitMix64::next_u64`], so `n` draws forward is a
+    /// single wrapping multiply-add. Every derived draw in this type
+    /// consumes a fixed number of raw draws ([`SplitMix64::range_u64`],
+    /// [`SplitMix64::chance`], and [`SplitMix64::next_f64`] one each,
+    /// [`SplitMix64::next_gauss`] two), so callers can skip composite
+    /// sequences exactly. Streaming consumers use this for cheap
+    /// mid-trace entry: fast-forwarding a cursor past `n` addresses
+    /// costs the same as past one.
+    #[inline]
+    pub fn skip(&mut self, n: u64) {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA.wrapping_mul(n));
+    }
 }
 
 impl Default for SplitMix64 {
@@ -230,6 +244,30 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "gauss mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "gauss variance {var}");
+    }
+
+    #[test]
+    fn skip_matches_sequential_draws() {
+        for n in [0u64, 1, 2, 7, 1000, 123_456] {
+            let mut seq = SplitMix64::new(77);
+            for _ in 0..n {
+                let _ = seq.next_u64();
+            }
+            let mut jump = SplitMix64::new(77);
+            jump.skip(n);
+            assert_eq!(seq, jump, "skip({n}) diverged from {n} sequential draws");
+            assert_eq!(seq.next_u64(), jump.next_u64());
+        }
+    }
+
+    #[test]
+    fn skip_composes_additively() {
+        let mut a = SplitMix64::new(9);
+        a.skip(10);
+        a.skip(32);
+        let mut b = SplitMix64::new(9);
+        b.skip(42);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -34,17 +34,57 @@ pub trait InstructionStream {
     /// trace is exhausted. After `None`, further calls keep returning
     /// `None`.
     fn next_block(&mut self, out: &mut Vec<Instruction>) -> Option<BlockId>;
+
+    /// Advance past the next block, returning only its metadata
+    /// `(id, instruction count)` — the *shape* of the trace without the
+    /// instruction contents.
+    ///
+    /// The stream must end up in exactly the state a [`next_block`]
+    /// call would have left it in: interleaving meta and full steps in
+    /// any order yields the same trace as full emission throughout
+    /// (generative streams realise this by advancing their cursors with
+    /// O(1) skips instead of materialising addresses). BBV profilers
+    /// and trace-length measurement consume only `(id, len)`, so a
+    /// meta walk lets them run without paying for instruction
+    /// materialisation — the lever behind segment-sharded profiling.
+    ///
+    /// The default implementation materialises into `scratch` and
+    /// discards it; implementors with cheap skips should override.
+    ///
+    /// [`next_block`]: InstructionStream::next_block
+    fn next_block_meta(&mut self, scratch: &mut Vec<Instruction>) -> Option<BlockMeta> {
+        let id = self.next_block(scratch)?;
+        Some(BlockMeta { id, insts: scratch.len() as u64 })
+    }
+}
+
+/// Metadata of one dynamic block, as yielded by
+/// [`InstructionStream::next_block_meta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// The block's id.
+    pub id: BlockId,
+    /// Dynamic instruction count of this block instance.
+    pub insts: u64,
 }
 
 impl<S: InstructionStream + ?Sized> InstructionStream for &mut S {
     fn next_block(&mut self, out: &mut Vec<Instruction>) -> Option<BlockId> {
         (**self).next_block(out)
     }
+
+    fn next_block_meta(&mut self, scratch: &mut Vec<Instruction>) -> Option<BlockMeta> {
+        (**self).next_block_meta(scratch)
+    }
 }
 
 impl<S: InstructionStream + ?Sized> InstructionStream for Box<S> {
     fn next_block(&mut self, out: &mut Vec<Instruction>) -> Option<BlockId> {
         (**self).next_block(out)
+    }
+
+    fn next_block_meta(&mut self, scratch: &mut Vec<Instruction>) -> Option<BlockMeta> {
+        (**self).next_block_meta(scratch)
     }
 }
 
@@ -80,6 +120,18 @@ pub fn drain_count<S: InstructionStream>(mut stream: S) -> StreamStats {
     while stream.next_block(&mut buf).is_some() {
         stats.blocks += 1;
         stats.instructions += buf.len() as u64;
+    }
+    stats
+}
+
+/// [`drain_count`] over the metadata-only walk: identical totals, no
+/// instruction materialisation where the stream supports cheap skips.
+pub fn drain_meta_count<S: InstructionStream>(mut stream: S) -> StreamStats {
+    let mut scratch = Vec::new();
+    let mut stats = StreamStats::default();
+    while let Some(m) = stream.next_block_meta(&mut scratch) {
+        stats.blocks += 1;
+        stats.instructions += m.insts;
     }
     stats
 }
@@ -122,6 +174,22 @@ mod tests {
         let t = trace();
         let stats = drain_count(SliceStream::new(&t));
         assert_eq!(stats, StreamStats { blocks: 2, instructions: 5 });
+    }
+
+    #[test]
+    fn default_meta_walk_matches_full_walk() {
+        let t = trace();
+        let mut s = SliceStream::new(&t);
+        let mut scratch = Vec::new();
+        assert_eq!(
+            s.next_block_meta(&mut scratch),
+            Some(BlockMeta { id: BlockId::new(0), insts: 3 })
+        );
+        // Meta and full steps interleave on the same stream.
+        let mut buf = Vec::new();
+        assert_eq!(s.next_block(&mut buf), Some(BlockId::new(1)));
+        assert_eq!(s.next_block_meta(&mut scratch), None);
+        assert_eq!(drain_meta_count(SliceStream::new(&t)), drain_count(SliceStream::new(&t)));
     }
 
     #[test]

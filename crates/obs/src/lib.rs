@@ -306,6 +306,23 @@ impl Report {
     }
 }
 
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where the probe is unavailable
+/// (non-Linux, unreadable procfs). Unlike the counters this works even
+/// without the `enabled` feature: it reads the kernel's high-water
+/// mark, not obs state. Machine- and allocator-dependent — report it
+/// alongside wall-clock, never in sections a regression gate diffs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: `VmHWM:    123456 kB`.
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Bucket index for `value` in a log2 histogram: 0 for 0, otherwise the
 /// bit length of `value` (so bucket `b` spans `2^(b-1)..2^b`).
 #[inline]

@@ -323,3 +323,18 @@ fn runtime_disabled_is_inert() {
     assert!(report.phases.iter().all(|p| p.name != "test.disabled"));
     assert!(report.workers.is_empty());
 }
+
+/// The peak-RSS probe reads the kernel's high-water mark directly, so
+/// it works regardless of the obs enable state and only ever grows.
+#[test]
+fn peak_rss_probe_reports_growing_high_water_mark() {
+    let Some(before) = mlpa_obs::peak_rss_bytes() else {
+        return; // not Linux / procfs unavailable: probe is allowed to opt out
+    };
+    assert!(before > 0, "a running process has resident pages");
+    // Touch ~32 MiB so the high-water mark provably moves.
+    let v = vec![1u8; 32 << 20];
+    std::hint::black_box(&v);
+    let after = mlpa_obs::peak_rss_bytes().unwrap();
+    assert!(after >= before + (16 << 20), "VmHWM must register the allocation");
+}

@@ -13,6 +13,9 @@
 //! * [`loops`] — dynamic detection of cyclic program structures from
 //!   backward branches, with coverage statistics (COASTS's boundary
 //!   collection step);
+//! * [`shard`] — segment-sharded variants of the profilers whose
+//!   merged output is bit-identical to the monolithic passes, plus the
+//!   cheap prefix trackers that align a shard mid-trace;
 //! * [`matrix`] — flat row-major storage the clustering kernels run on;
 //! * [`kmeans`] / [`bic`] — the phase classifier (Hamerly-pruned
 //!   Lloyd's over contiguous storage) and SimPoint's BIC-based choice
@@ -54,6 +57,7 @@ pub mod pca;
 pub mod project;
 pub mod reference;
 pub mod sequence;
+pub mod shard;
 pub mod simpoint;
 pub mod wss;
 

@@ -212,6 +212,24 @@ impl MemoryCursor {
         (ws as u64).max(8)
     }
 
+    /// Skip `n` addresses in O(1), leaving the cursor exactly where `n`
+    /// [`MemoryCursor::next_addr`] calls would have: strided walks
+    /// advance the position by `stride × n` (wrapping arithmetic equals
+    /// `n` single-stride advances mod 2⁶⁴), random patterns skip `n`
+    /// RNG draws ([`SplitMix64::skip`]; each address costs exactly one
+    /// draw). Addresses never feed back into control flow, so a stream
+    /// fast-forwarding to a mid-trace segment can skip them wholesale.
+    pub fn skip(&mut self, n: u64) {
+        match self.pattern {
+            MemoryPattern::Strided { stride, .. } => {
+                self.pos = self.pos.wrapping_add(stride.wrapping_mul(n));
+            }
+            MemoryPattern::RandomInSet { .. } | MemoryPattern::PointerChase { .. } => {
+                self.rng.skip(n);
+            }
+        }
+    }
+
     /// Next effective address (8-byte aligned).
     pub fn next_addr(&mut self) -> u64 {
         let set = self.effective_set();
@@ -359,6 +377,47 @@ mod tests {
         c.set_scale(0.25);
         for _ in 0..1000 {
             assert!(c.next_addr() < (1 << 18));
+        }
+    }
+
+    #[test]
+    fn cursor_skip_matches_sequential_draws() {
+        let patterns = [
+            MemoryPattern::Strided { stride: 24, working_set: 1000 },
+            MemoryPattern::RandomInSet { working_set: 4096 },
+            MemoryPattern::PointerChase { working_set: 512 },
+        ];
+        for p in patterns {
+            for n in [0u64, 1, 5, 97, 10_000] {
+                let mut seq = MemoryCursor::new(p, 0x2000, SplitMix64::new(13));
+                for _ in 0..n {
+                    let _ = seq.next_addr();
+                }
+                let mut jump = MemoryCursor::new(p, 0x2000, SplitMix64::new(13));
+                jump.skip(n);
+                for _ in 0..8 {
+                    assert_eq!(seq.next_addr(), jump.next_addr(), "{p:?} skip({n}) diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_skip_is_scale_independent() {
+        // Skipping under one scale then drawing under another matches
+        // sequential draws with the same scale switch: the draw count,
+        // not the effective set, determines RNG/position state.
+        let p = MemoryPattern::RandomInSet { working_set: 1 << 16 };
+        let mut seq = MemoryCursor::new(p, 0, SplitMix64::new(21));
+        let mut jump = MemoryCursor::new(p, 0, SplitMix64::new(21));
+        for _ in 0..50 {
+            let _ = seq.next_addr();
+        }
+        jump.skip(50);
+        seq.set_scale(0.5);
+        jump.set_scale(0.5);
+        for _ in 0..8 {
+            assert_eq!(seq.next_addr(), jump.next_addr());
         }
     }
 

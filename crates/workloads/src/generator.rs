@@ -11,7 +11,7 @@
 use crate::behavior::{BranchCursor, MemoryCursor};
 use crate::build::{CompiledBenchmark, PhaseRt};
 use mlpa_isa::rng::SplitMix64;
-use mlpa_isa::stream::InstructionStream;
+use mlpa_isa::stream::{BlockMeta, InstructionStream};
 use mlpa_isa::{BlockId, BranchInfo, BranchKind, Instruction};
 
 /// Hard cap on a family's repetitions in one inner iteration, as a
@@ -350,6 +350,21 @@ impl<'a> WorkloadStream<'a> {
         self.emitted += out.len() as u64;
         slot.block
     }
+
+    /// [`WorkloadStream::emit`] minus materialisation: replicate every
+    /// state effect of emitting `slot` — the memory cursor's draws
+    /// (collapsed to an O(1) [`MemoryCursor::skip`]) and the emitted
+    /// counter — without touching instruction storage. Terminator
+    /// patching consumes no stream state, so skipping it is free.
+    fn emit_meta(&mut self, slot: Slot) -> BlockMeta {
+        let t = self.cb.template(slot.block);
+        if let Some(fi) = slot.fam {
+            self.fams[fi].mem.skip(t.mem_slots.len() as u64);
+        }
+        let insts = t.insts.len() as u64;
+        self.emitted += insts;
+        BlockMeta { id: slot.block, insts }
+    }
 }
 
 impl InstructionStream for WorkloadStream<'_> {
@@ -361,6 +376,23 @@ impl InstructionStream for WorkloadStream<'_> {
         let cur = self.lookahead?;
         self.lookahead = self.advance();
         Some(self.emit(cur, self.lookahead, out))
+    }
+
+    /// Deterministic mid-trace entry: meta steps run the full control
+    /// state machine (rep draws, branch draws, run transitions) but
+    /// skip address materialisation, so fast-forwarding to segment *k*
+    /// costs a fraction of emitting the prefix — and a subsequent
+    /// [`next_block`](InstructionStream::next_block) continues the
+    /// trace bit-identically (pinned by
+    /// `meta_walk_continues_bit_identically`).
+    fn next_block_meta(&mut self, _scratch: &mut Vec<Instruction>) -> Option<BlockMeta> {
+        if !self.started {
+            self.started = true;
+            self.lookahead = self.advance();
+        }
+        let cur = self.lookahead?;
+        self.lookahead = self.advance();
+        Some(self.emit_meta(cur))
     }
 }
 
@@ -489,6 +521,86 @@ mod tests {
             }
         }
         assert_eq!(outer_count, cb.spec().script.len());
+    }
+
+    #[test]
+    fn meta_walk_matches_full_walk_shape() {
+        let cb = CompiledBenchmark::compile(&small_spec()).unwrap();
+        let mut full = WorkloadStream::new(&cb);
+        let mut meta = WorkloadStream::new(&cb);
+        let (mut buf, mut scratch) = (Vec::new(), Vec::new());
+        loop {
+            let f = full.next_block(&mut buf);
+            let m = meta.next_block_meta(&mut scratch);
+            assert_eq!(f, m.map(|m| m.id));
+            assert_eq!(full.emitted(), meta.emitted());
+            match m {
+                Some(m) => assert_eq!(m.insts, buf.len() as u64),
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn meta_walk_continues_bit_identically() {
+        // Walk a prefix with meta steps, then switch to full emission:
+        // the suffix must match a stream that emitted fully throughout,
+        // at every possible switch point granularity we sample.
+        let cb = CompiledBenchmark::compile(&small_spec()).unwrap();
+        for switch_after in [0usize, 1, 7, 50, 400, 2000] {
+            let mut reference = WorkloadStream::new(&cb);
+            let (mut rbuf, mut scratch) = (Vec::new(), Vec::new());
+            for _ in 0..switch_after {
+                if reference.next_block(&mut rbuf).is_none() {
+                    break;
+                }
+            }
+            let mut skipped = WorkloadStream::new(&cb);
+            for _ in 0..switch_after {
+                if skipped.next_block_meta(&mut scratch).is_none() {
+                    break;
+                }
+            }
+            assert_eq!(reference.emitted(), skipped.emitted());
+            let mut sbuf = Vec::new();
+            loop {
+                let r = reference.next_block(&mut rbuf);
+                let s = skipped.next_block(&mut sbuf);
+                assert_eq!(r, s, "block id diverged after meta prefix of {switch_after}");
+                assert_eq!(rbuf, sbuf, "contents diverged after meta prefix of {switch_after}");
+                if r.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_meta_and_full_steps_stay_exact() {
+        // Alternate meta/full arbitrarily (driven by a seeded RNG) and
+        // check the full steps agree with an all-full reference stream.
+        let cb = CompiledBenchmark::compile(&small_spec()).unwrap();
+        let mut reference = WorkloadStream::new(&cb);
+        let mut mixed = WorkloadStream::new(&cb);
+        let (mut rbuf, mut mbuf, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        let mut rng = SplitMix64::new(0xC0FFEE);
+        loop {
+            let r = reference.next_block(&mut rbuf);
+            if rng.chance(0.5) {
+                let m = mixed.next_block_meta(&mut scratch);
+                assert_eq!(r, m.map(|m| m.id));
+                if r.is_none() {
+                    break;
+                }
+            } else {
+                let m = mixed.next_block(&mut mbuf);
+                assert_eq!(r, m);
+                if r.is_none() {
+                    break;
+                }
+                assert_eq!(rbuf, mbuf);
+            }
+        }
     }
 
     #[test]
