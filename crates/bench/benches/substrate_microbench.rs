@@ -10,6 +10,16 @@
 //! naive, with derived speedups) to `<path>` — see
 //! `scripts/bench_phase.sh`. With `MLPA_BENCH_SMOKE=1`, every bench
 //! runs a single sample (the CI smoke mode of the vendored shim).
+//!
+//! Every run calibrates the host **in this process** first
+//! (`mlpa_obs::calibrate`): the probe's ns-per-unit price stamps each
+//! emitted snapshot, and each bench also records
+//! `normalized = mean_ns / probe_ns` — a machine-independent cost the
+//! `bench-gate` binary compares across hosts. Derived speedups are
+//! within-run by construction (both sides of every ratio measured in
+//! this same process); the headline `detailed_sim` speedup additionally
+//! comes from interleaved A/B rounds (the `ab_detailed` idiom) rather
+//! than two separately-timed bench entries.
 
 use criterion::{Criterion, Throughput};
 use mlpa_isa::rng::SplitMix64;
@@ -42,7 +52,34 @@ const PIPELINE_K: usize = 10;
 /// Sweep ceiling for the `phase_sweep` (BIC `choose_k`) benchmark.
 const K_MAX: usize = 10;
 
-fn bench_substrate(c: &mut Criterion) {
+/// Fastest of `n` timed calls, in nanoseconds.
+fn best_of<R>(n: usize, f: &mut impl FnMut() -> R) -> f64 {
+    (0..n.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos() as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Interleaved A/B speedup (the `ab_detailed` idiom): rounds alternate
+/// reference and current back-to-back, best-of-3 a side per round, and
+/// the reported ratio is the **median** of the per-round ratios. Both
+/// sides of each ratio run within microseconds of each other, so host
+/// drift between separately-timed bench groups cannot leak into the
+/// derived speedup. Smoke mode drops to one round, best-of-1.
+fn ab_median_ratio<A, B>(mut reference: impl FnMut() -> A, mut current: impl FnMut() -> B) -> f64 {
+    let smoke = std::env::var_os("MLPA_BENCH_SMOKE").is_some();
+    let (rounds, reps) = if smoke { (1, 1) } else { (5, 3) };
+    let mut ratios: Vec<f64> = (0..rounds)
+        .map(|_| best_of(reps, &mut reference) / best_of(reps, &mut current).max(f64::MIN_POSITIVE))
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    ratios[ratios.len() / 2]
+}
+
+fn bench_substrate(c: &mut Criterion) -> f64 {
     let spec = suite::benchmark_with_iters("eon", 1).expect("eon").scaled(0.05);
     let cb = CompiledBenchmark::compile(&spec).expect("compiles");
     let trace_len = drain_count(WorkloadStream::new(&cb)).instructions;
@@ -80,6 +117,11 @@ fn bench_substrate(c: &mut Criterion) {
     });
     group.finish();
 
+    // The headline detailed-sim speedup, measured interleaved so it is
+    // immune to drift between the two bench entries above.
+    let ab_detailed = ab_median_ratio(run_reference, run_current);
+    println!("substrate/detailed_sim interleaved A/B speedup: {ab_detailed:.2}x");
+
     let mut cache_group = c.benchmark_group("cache");
     let accesses = 100_000u64;
     cache_group.throughput(Throughput::Elements(accesses));
@@ -94,6 +136,7 @@ fn bench_substrate(c: &mut Criterion) {
         });
     });
     cache_group.finish();
+    ab_detailed
 }
 
 /// The streaming profiling pass: `ProfilingContext::prepare` monolithic
@@ -367,24 +410,39 @@ fn mean_of(measurements: &[criterion::Measurement], group: &str, id: &str) -> Op
 
 /// Emit the phase-kernel baseline as hand-formatted JSON (the workspace
 /// is dependency-free; the values are flat numbers and simple strings).
-fn write_bench_json(path: &std::ffi::OsStr, measurements: &[criterion::Measurement]) {
+/// v2 of the per-run schema adds the in-process `calibration` block,
+/// the `host` metadata section, and per-bench `normalized` costs.
+fn write_bench_json(
+    path: &std::ffi::OsStr,
+    measurements: &[criterion::Measurement],
+    cal: &mlpa_obs::calibrate::MachineCalibration,
+    ab_detailed: f64,
+) {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mlpa-bench-phase-v1\",\n");
+    out.push_str("  \"schema\": \"mlpa-bench-phase-v2\",\n");
     out.push_str(&format!(
         "  \"params\": {{ \"num_blocks\": {NUM_BLOCKS}, \"dim\": {DIM}, \"interval_len\": {INTERVAL_LEN}, \"intervals\": {TARGET_INTERVALS}, \"pipeline_k\": {PIPELINE_K}, \"k_max\": {K_MAX} }},\n"
     ));
+    out.push_str(&format!("  \"calibration\": {},\n", cal.to_json()));
+    out.push_str(&format!("  \"host\": {},\n", mlpa_obs::host_meta().to_value()));
     out.push_str("  \"benches\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{ \"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {} }}{comma}\n",
-            m.group, m.id, m.mean_ns, m.min_ns, m.max_ns, m.samples
+            "    {{ \"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"samples\": {}, \"normalized\": {:.4} }}{comma}\n",
+            m.group,
+            m.id,
+            m.mean_ns,
+            m.min_ns,
+            m.max_ns,
+            m.samples,
+            m.mean_ns / cal.probe_ns.max(f64::MIN_POSITIVE)
         ));
     }
     out.push_str("  ],\n");
     let [(_, pipeline), (_, sweep), (_, kmeans_speedup), (_, detailed), (_, streaming)] =
-        derived_speedups(measurements);
+        derived_speedups(measurements, Some(ab_detailed));
     out.push_str(&format!(
         "  \"speedups\": {{ \"phase_pipeline\": {pipeline:.2}, \"phase_sweep\": {sweep:.2}, \"kmeans\": {kmeans_speedup:.2}, \"detailed_sim\": {detailed:.2}, \"streaming\": {streaming:.2} }}\n"
     ));
@@ -400,8 +458,28 @@ fn write_bench_json(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
     }
 }
 
-/// Derived kernel speedups (naive-over-current mean ratios).
-fn derived_speedups(measurements: &[criterion::Measurement]) -> [(&'static str, f64); 5] {
+/// The bench pairs each derived speedup is the ratio of — every pair is
+/// measured within this one process (never across snapshots), which is
+/// what makes the speedups comparable across hosts without any
+/// normalization at all. Written into the trajectory as annotation.
+const SPEEDUP_PAIRS: [(&str, &str); 5] = [
+    ("phase_pipeline", "phase_pipeline/naive over phase_pipeline/current"),
+    ("phase_sweep", "phase_sweep/naive over phase_sweep/current"),
+    ("kmeans", "kmeans/k10_n2000_d15_naive over kmeans/k10_n2000_d15"),
+    (
+        "detailed_sim",
+        "substrate/detailed_sim_reference over substrate/detailed_sim (interleaved A/B median)",
+    ),
+    ("streaming", "streaming/prepare_monolithic over streaming/prepare_sharded8"),
+];
+
+/// Derived kernel speedups (naive-over-current within-run ratios).
+/// `ab_detailed`, when present, replaces the group-mean `detailed_sim`
+/// ratio with the interleaved A/B measurement.
+fn derived_speedups(
+    measurements: &[criterion::Measurement],
+    ab_detailed: Option<f64>,
+) -> [(&'static str, f64); 5] {
     let ratio = |group: &str, naive: &str, current: &str| match (
         mean_of(measurements, group, naive),
         mean_of(measurements, group, current),
@@ -413,24 +491,43 @@ fn derived_speedups(measurements: &[criterion::Measurement]) -> [(&'static str, 
         ("phase_pipeline", ratio("phase_pipeline", "naive", "current")),
         ("phase_sweep", ratio("phase_sweep", "naive", "current")),
         ("kmeans", ratio("kmeans", "k10_n2000_d15_naive", "k10_n2000_d15")),
-        ("detailed_sim", ratio("substrate", "detailed_sim_reference", "detailed_sim")),
+        (
+            "detailed_sim",
+            ab_detailed
+                .unwrap_or_else(|| ratio("substrate", "detailed_sim_reference", "detailed_sim")),
+        ),
         ("streaming", ratio("streaming", "prepare_monolithic", "prepare_sharded8")),
     ]
 }
 
 /// Append this run as one snapshot of the perf *trajectory*
-/// (`BENCH.json` at the repo top level): prior snapshots are preserved
-/// verbatim, so the file records how kernel cost and the derived
-/// speedups evolve change over change. The snapshot label comes from
-/// `MLPA_BENCH_LABEL` (defaulting to `snapshot-<n>`).
-fn write_trajectory(path: &std::ffi::OsStr, measurements: &[criterion::Measurement]) {
+/// (`BENCH.json` at the repo top level): prior snapshots — v1 raw-ns
+/// ones included — are preserved verbatim, so the file records how
+/// kernel cost and the derived speedups evolve change over change. New
+/// snapshots are stamped with this run's in-process calibration and
+/// host metadata, and each bench carries its machine-normalized cost;
+/// the document schema advances to `mlpa-bench-suite-v2`. The snapshot
+/// label comes from `MLPA_BENCH_LABEL` (defaulting to `snapshot-<n>`).
+fn write_trajectory(
+    path: &std::ffi::OsStr,
+    measurements: &[criterion::Measurement],
+    cal: &mlpa_obs::calibrate::MachineCalibration,
+    ab_detailed: f64,
+) {
+    use mlpa_obs::calibrate::{BENCH_SUITE_SCHEMA, BENCH_SUITE_SCHEMA_V1};
     use mlpa_obs::json::{parse, Value};
     use std::collections::BTreeMap;
 
     let mut snapshots: Vec<String> = Vec::new();
     if let Ok(text) = std::fs::read_to_string(path) {
+        let schema_of = |v: &Value| v.get("schema").and_then(Value::as_str).map(str::to_string);
         match parse(&text) {
-            Ok(v) if v.get("schema").and_then(Value::as_str) == Some("mlpa-bench-suite-v1") => {
+            Ok(v)
+                if matches!(
+                    schema_of(&v).as_deref(),
+                    Some(BENCH_SUITE_SCHEMA) | Some(BENCH_SUITE_SCHEMA_V1)
+                ) =>
+            {
                 if let Some(arr) = v.get("snapshots").and_then(Value::as_arr) {
                     snapshots.extend(arr.iter().map(Value::to_string));
                 }
@@ -444,6 +541,7 @@ fn write_trajectory(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
     let label = std::env::var("MLPA_BENCH_LABEL")
         .unwrap_or_else(|_| format!("snapshot-{}", snapshots.len() + 1));
 
+    let probe = cal.probe_ns.max(f64::MIN_POSITIVE);
     let benches: Vec<Value> = measurements
         .iter()
         .map(|m| {
@@ -451,25 +549,33 @@ fn write_trajectory(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
                 ("group".to_string(), Value::Str(m.group.clone())),
                 ("id".to_string(), Value::Str(m.id.clone())),
                 ("mean_ns".to_string(), Value::Num(m.mean_ns.round())),
+                ("min_ns".to_string(), Value::Num(m.min_ns.round())),
+                ("max_ns".to_string(), Value::Num(m.max_ns.round())),
                 ("samples".to_string(), Value::Num(m.samples as f64)),
+                ("normalized".to_string(), Value::Num((m.mean_ns / probe * 1e4).round() / 1e4)),
             ]))
         })
         .collect();
     let speedups = Value::Obj(
-        derived_speedups(measurements)
+        derived_speedups(measurements, Some(ab_detailed))
             .into_iter()
             .map(|(k, v)| (k.to_string(), Value::Num((v * 100.0).round() / 100.0)))
             .collect(),
     );
     let snap = Value::Obj(BTreeMap::from([
         ("label".to_string(), Value::Str(label.clone())),
+        ("calibration".to_string(), cal.to_value()),
+        ("host".to_string(), mlpa_obs::host_meta().to_value()),
         ("benches".to_string(), Value::Arr(benches)),
         ("speedups".to_string(), speedups),
     ]));
     snapshots.push(snap.to_string());
 
+    let pairs = Value::Obj(
+        SPEEDUP_PAIRS.iter().map(|(k, v)| (k.to_string(), Value::Str(v.to_string()))).collect(),
+    );
     let out = format!(
-        "{{\n  \"schema\": \"mlpa-bench-suite-v1\",\n  \"snapshots\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"{BENCH_SUITE_SCHEMA}\",\n  \"speedup_pairs\": {pairs},\n  \"snapshots\": [\n    {}\n  ]\n}}\n",
         snapshots.join(",\n    ")
     );
     if let Err(e) = std::fs::write(path, &out) {
@@ -484,8 +590,18 @@ fn write_trajectory(path: &std::ffi::OsStr, measurements: &[criterion::Measureme
 }
 
 fn main() {
+    // Calibrate first, in this same process: probe and benches see the
+    // same machine state, and every emitted artifact carries the stamp.
+    let cal = mlpa_obs::calibrate::calibrate();
+    println!(
+        "machine calibration: {:.2} ns/unit (min {:.2}, dispersion {:.1}%) on {}",
+        cal.probe_ns,
+        cal.min_ns,
+        cal.dispersion * 100.0,
+        cal.fingerprint
+    );
     let mut criterion = Criterion::default();
-    bench_substrate(&mut criterion);
+    let ab_detailed = bench_substrate(&mut criterion);
     bench_streaming(&mut criterion);
     bench_kmeans(&mut criterion);
     bench_phase_pipeline(&mut criterion);
@@ -493,9 +609,9 @@ fn main() {
     let measurements = criterion::take_measurements();
     assert_obs_overhead(&measurements);
     if let Some(path) = std::env::var_os("MLPA_BENCH_JSON") {
-        write_bench_json(&path, &measurements);
+        write_bench_json(&path, &measurements, &cal, ab_detailed);
     }
     if let Some(path) = std::env::var_os("MLPA_BENCH_TRAJECTORY") {
-        write_trajectory(&path, &measurements);
+        write_trajectory(&path, &measurements, &cal, ab_detailed);
     }
 }

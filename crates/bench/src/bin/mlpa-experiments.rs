@@ -390,13 +390,17 @@ fn run(o: &Options) -> Result<(), String> {
         let path = o.out.join("RUN_REPORT.json");
         let mut extra: Vec<(String, String)> =
             attribution_json.into_iter().map(|j| ("attribution".to_string(), j)).collect();
-        // Peak RSS is machine/allocator-dependent, so it lives in its
-        // own `resources` section that obs-diff does not gate on —
-        // alongside wall-clock, it documents the memory footprint of
-        // paper-scale (--scale 1.0 --shards N) runs.
-        if let Some(rss) = mlpa_obs::peak_rss_bytes() {
-            extra.push(("resources".to_string(), format!("{{\"peak_rss_bytes\": {rss}}}")));
-        }
+        // Peak RSS and host identity are machine-dependent, so they
+        // live in their own `resources` section that obs-diff does not
+        // gate on — alongside wall-clock, they document the memory
+        // footprint and the machine behind paper-scale
+        // (--scale 1.0 --shards N) runs.
+        let host = mlpa_obs::host_meta().to_value();
+        let resources = match mlpa_obs::peak_rss_bytes() {
+            Some(rss) => format!("{{\"peak_rss_bytes\": {rss}, \"host\": {host}}}"),
+            None => format!("{{\"host\": {host}}}"),
+        };
+        extra.push(("resources".to_string(), resources));
         fs::write(&path, mlpa_obs::report().to_json_with(&extra))
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         info!("obs", "wrote {}", path.display());

@@ -1,0 +1,19 @@
+//! Calibration stability diagnostic: run the machine probe a few times
+//! back-to-back and print the per-run statistics. Use it before
+//! recording a committed perf baseline — if `probe` drifts more than a
+//! few percent between runs, or `disp` exceeds ~5%, the host is too
+//! loaded for a baseline worth gating against (see EXPERIMENTS.md,
+//! "Calibrated perf baselines").
+//!
+//!     cargo run --release -p mlpa-obs --example calprobe
+
+fn main() {
+    let runs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    for i in 0..runs {
+        let c = mlpa_obs::calibrate::calibrate();
+        println!(
+            "run {i}: probe {:.2} ns/unit  min {:.2}  disp {:.3}  units {}  ({})",
+            c.probe_ns, c.min_ns, c.dispersion, c.units, c.fingerprint
+        );
+    }
+}

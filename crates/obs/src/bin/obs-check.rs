@@ -324,8 +324,8 @@ fn check_report(text: &str, checks: &ReportChecks) -> Result<(), String> {
         }
     }
     for name in &checks.require_nonzero {
-        let value = counter(name)
-            .ok_or_else(|| format!("counter `{name}` is absent, expected nonzero"))?;
+        let value =
+            counter(name).ok_or_else(|| format!("counter `{name}` is absent, expected nonzero"))?;
         if value == 0.0 {
             return Err(format!("counter `{name}` is 0, expected nonzero"));
         }

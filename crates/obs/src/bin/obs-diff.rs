@@ -237,7 +237,10 @@ fn diff(base: &Value, cur: &Value, tol: &Tolerances) -> Result<Diff, String> {
     }
     match base_schema.as_str() {
         "mlpa-run-report-v1" | "mlpa-run-report-v2" => diff_run_report(base, cur, tol),
-        "mlpa-bench-phase-v1" | "mlpa-bench-suite-v1" => diff_bench(base, cur, tol),
+        "mlpa-bench-phase-v1"
+        | "mlpa-bench-phase-v2"
+        | "mlpa-bench-suite-v1"
+        | "mlpa-bench-suite-v2" => diff_bench(base, cur, tol),
         other => Err(format!("unsupported schema `{other}`")),
     }
 }

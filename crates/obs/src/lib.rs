@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calibrate;
 pub mod json;
 
 use std::fmt;
@@ -306,21 +307,91 @@ impl Report {
     }
 }
 
+/// Extract the peak-RSS high-water mark (bytes) from the text of
+/// `/proc/self/status`. Returns `None` — never a fake 0 — when the
+/// `VmHWM:` line is missing, malformed, or reads as zero kilobytes (a
+/// live process has touched at least one page, so a zero can only be a
+/// parse artifact or a stub procfs). Split out from [`peak_rss_bytes`]
+/// so the degradation paths are testable without faking a kernel.
+pub fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: `VmHWM:    123456 kB`.
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    if kb == 0 {
+        return None;
+    }
+    Some(kb * 1024)
+}
+
 /// Peak resident-set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), or `None` where the probe is unavailable
-/// (non-Linux, unreadable procfs). Unlike the counters this works even
-/// without the `enabled` feature: it reads the kernel's high-water
-/// mark, not obs state. Machine- and allocator-dependent — report it
-/// alongside wall-clock, never in sections a regression gate diffs.
+/// (non-Linux, unreadable procfs, malformed or zero `VmHWM`). Unlike
+/// the counters this works even without the `enabled` feature: it reads
+/// the kernel's high-water mark, not obs state. Machine- and
+/// allocator-dependent — report it alongside wall-clock, never in
+/// sections a regression gate diffs.
 pub fn peak_rss_bytes() -> Option<u64> {
     if !cfg!(target_os = "linux") {
         return None;
     }
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    // Format: `VmHWM:    123456 kB`.
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+    parse_vm_hwm(&status)
+}
+
+/// Static facts about the host this process runs on. Everything here is
+/// informational context for humans reading snapshots and run reports —
+/// *not* input to any regression gate (machines legitimately differ) —
+/// except [`HostMeta::fingerprint`], which the calibration layer stamps
+/// on baselines so a cross-machine comparison is visible in the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostMeta {
+    /// Logical CPUs available to this process
+    /// (`std::thread::available_parallelism`, 1 when unknown).
+    pub cpus: usize,
+    /// Target architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Target OS (`std::env::consts::OS`).
+    pub os: String,
+    /// Kernel release string (`/proc/sys/kernel/osrelease`), or
+    /// `"unknown"` where procfs is unavailable.
+    pub kernel: String,
+}
+
+impl HostMeta {
+    /// Timestamp-free host fingerprint (`arch-os-cN`): stable across
+    /// reboots of the same machine shape, different across machine
+    /// shapes. Deliberately excludes the kernel release so a routine
+    /// kernel update does not churn committed baselines.
+    pub fn fingerprint(&self) -> String {
+        format!("{}-{}-c{}", self.arch, self.os, self.cpus)
+    }
+
+    /// The host block as a stable-key-order JSON [`json::Value`].
+    pub fn to_value(&self) -> json::Value {
+        use std::collections::BTreeMap;
+        json::Value::Obj(BTreeMap::from([
+            ("cpus".to_string(), json::Value::Num(self.cpus as f64)),
+            ("arch".to_string(), json::Value::Str(self.arch.clone())),
+            ("os".to_string(), json::Value::Str(self.os.clone())),
+            ("kernel".to_string(), json::Value::Str(self.kernel.clone())),
+        ]))
+    }
+}
+
+/// Probe the current host's metadata. Cheap enough to call per run; the
+/// kernel string degrades to `"unknown"` off-Linux instead of failing.
+pub fn host_meta() -> HostMeta {
+    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| s.trim().to_string())
+        .ok()
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    HostMeta {
+        cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        arch: std::env::consts::ARCH.to_string(),
+        os: std::env::consts::OS.to_string(),
+        kernel,
+    }
 }
 
 /// Bucket index for `value` in a log2 histogram: 0 for 0, otherwise the

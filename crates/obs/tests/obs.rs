@@ -338,3 +338,35 @@ fn peak_rss_probe_reports_growing_high_water_mark() {
     let after = mlpa_obs::peak_rss_bytes().unwrap();
     assert!(after >= before + (16 << 20), "VmHWM must register the allocation");
 }
+
+/// `parse_vm_hwm` degrades to `None` — never a fake 0 — on every
+/// malformed shape a host without a real procfs can serve.
+#[test]
+fn vm_hwm_parse_degrades_to_none() {
+    assert_eq!(mlpa_obs::parse_vm_hwm("VmHWM:\t  123456 kB\n"), Some(123456 * 1024));
+    // Missing line, empty file, wrong field name.
+    assert_eq!(mlpa_obs::parse_vm_hwm(""), None);
+    assert_eq!(mlpa_obs::parse_vm_hwm("VmRSS:\t 4 kB\n"), None);
+    // Malformed value, missing value.
+    assert_eq!(mlpa_obs::parse_vm_hwm("VmHWM:\t lots kB\n"), None);
+    assert_eq!(mlpa_obs::parse_vm_hwm("VmHWM:\n"), None);
+    // A zero high-water mark is a stub, not a measurement.
+    assert_eq!(mlpa_obs::parse_vm_hwm("VmHWM:\t 0 kB\n"), None);
+}
+
+/// The host probe never fails: every field is populated (degrading to
+/// `"unknown"` for the kernel string) and the fingerprint is the
+/// timestamp-free `arch-os-cN` the calibration layer stamps.
+#[test]
+fn host_meta_is_populated_and_fingerprint_is_stable() {
+    let host = mlpa_obs::host_meta();
+    assert!(host.cpus >= 1);
+    assert!(!host.arch.is_empty() && !host.os.is_empty() && !host.kernel.is_empty());
+    assert_eq!(host.fingerprint(), format!("{}-{}-c{}", host.arch, host.os, host.cpus));
+    assert_eq!(host.fingerprint(), mlpa_obs::host_meta().fingerprint());
+    // The JSON block parses back with all four keys.
+    let v = mlpa_obs::json::parse(&host.to_value().to_string()).expect("host block parses");
+    for key in ["cpus", "arch", "os", "kernel"] {
+        assert!(v.get(key).is_some(), "missing host key `{key}`");
+    }
+}

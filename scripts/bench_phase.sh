@@ -9,6 +9,19 @@
 # MLPA_BENCH_LABEL, e.g. the PR name). See EXPERIMENTS.md, "Bench
 # baseline workflow".
 #
+# Every run starts by calibrating the host in-process (the ~0.4 s probe
+# in mlpa_obs::calibrate): both output files carry the calibration and
+# host blocks, and every bench records a machine-normalized cost
+# (mean_ns / probe_ns) next to its raw nanoseconds. The CI perf-gate
+# job replays this in smoke mode and gates a fresh candidate snapshot
+# against the committed BENCH.json with `bench-gate` on those
+# normalized costs. Before recording a baseline worth gating against,
+# check the host is quiet:
+#
+#   cargo run --release -p mlpa-obs --example calprobe
+#
+# and prefer a run whose reported dispersion stays under ~5%.
+#
 # Usage: scripts/bench_phase.sh [output.json]
 set -eu
 
