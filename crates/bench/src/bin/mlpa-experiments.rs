@@ -41,6 +41,15 @@
 //!   --obs PATH        stream JSONL observability events to PATH and
 //!                     write <out>/RUN_REPORT.json (needs a build with
 //!                     `--features obs`)
+//!   --telemetry-ms N  background sampler interval for `sample` events
+//!                     in the --obs stream (default 250; 0 disables the
+//!                     sampler; only meaningful with --obs)
+//!   --status-port N   serve live HTTP GET /metrics (Prometheus text)
+//!                     and GET /status (JSON) on 127.0.0.1:N while the
+//!                     run executes; 0 picks an ephemeral port. The
+//!                     bound address is printed to stderr as
+//!                     `status server listening on 127.0.0.1:PORT`
+//!                     (needs a build with `--features obs`)
 //! ```
 
 use mlpa_bench::{fig1, harness, report};
@@ -69,6 +78,8 @@ struct Options {
     verbose: bool,
     progress: bool,
     obs: Option<PathBuf>,
+    telemetry_ms: u64,
+    status_port: Option<u16>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -90,6 +101,8 @@ fn parse_args() -> Result<Options, String> {
         verbose: false,
         progress: false,
         obs: None,
+        telemetry_ms: mlpa_obs::DEFAULT_SAMPLE_MS,
+        status_port: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -101,6 +114,21 @@ fn parse_args() -> Result<Options, String> {
             "--verbose" => o.verbose = true,
             "--progress" => o.progress = true,
             "--obs" => o.obs = Some(PathBuf::from(args.next().ok_or("--obs needs a value")?)),
+            "--telemetry-ms" => {
+                o.telemetry_ms = args
+                    .next()
+                    .ok_or("--telemetry-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--telemetry-ms: {e}"))?;
+            }
+            "--status-port" => {
+                o.status_port = Some(
+                    args.next()
+                        .ok_or("--status-port needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--status-port: {e}"))?,
+                );
+            }
             "--select" => {
                 let v = args.next().ok_or("--select needs a value")?;
                 o.select = v.split(',').map(str::to_owned).collect();
@@ -218,27 +246,45 @@ fn main() {
         mlpa_obs::Verbosity::Normal
     });
     mlpa_obs::set_force_progress(o.progress);
-    if let Some(sink) = &o.obs {
-        let cfg = mlpa_obs::ObsConfig { enabled: true, sink: Some(sink.clone()) };
+    if o.obs.is_some() || o.status_port.is_some() {
+        let cfg = mlpa_obs::ObsConfig {
+            enabled: true,
+            sink: o.obs.clone(),
+            sample_ms: (o.telemetry_ms > 0).then_some(o.telemetry_ms),
+        };
         if let Err(e) = mlpa_obs::init(&cfg) {
-            elog!("error", "opening obs sink {}: {e}", sink.display());
+            elog!("error", "opening obs sink: {e}");
             std::process::exit(2);
         }
         if !mlpa_obs::is_enabled() {
             elog!(
                 "obs",
                 "this binary was built without `--features obs`; \
-                 --obs will record nothing"
+                 --obs / --status-port will record nothing"
             );
         }
     }
-    if let Err(e) = run(&o) {
+    if let Some(port) = o.status_port {
+        match mlpa_obs::telemetry::serve_status(port) {
+            // elog! so the bound address survives --quiet: CI parses
+            // this line to find the ephemeral port.
+            Ok(addr) => elog!("obs", "status server listening on {addr}"),
+            Err(e) => {
+                elog!("error", "--status-port {port}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let outcome = run(&o);
+    mlpa_obs::telemetry::stop_status_server();
+    if let Err(e) = outcome {
         elog!("error", "{e}");
         std::process::exit(1);
     }
 }
 
 fn run(o: &Options) -> Result<(), String> {
+    mlpa_obs::telemetry::set_run_phase("setup");
     fs::create_dir_all(&o.out).map_err(|e| format!("creating {}: {e}", o.out.display()))?;
     let wants =
         |c: &str| o.commands.iter().any(|x| x == c) || o.commands.iter().any(|x| x == "all");
@@ -307,6 +353,7 @@ fn run(o: &Options) -> Result<(), String> {
             exp.suite.len(),
             mlpa_core::effective_jobs(exp.jobs).min(exp.suite.len().max(1)),
         );
+        mlpa_obs::telemetry::set_run_phase("benchmarks");
         let results = exp.run(|r| {
             progress!(
                 "suite",
@@ -316,6 +363,7 @@ fn run(o: &Options) -> Result<(), String> {
                 r.elapsed
             );
         })?;
+        mlpa_obs::telemetry::set_run_phase("report");
         vlog!("suite", "all benchmarks complete; building reports");
         if cache.is_some() && mlpa_obs::is_enabled() {
             info!(
@@ -406,5 +454,6 @@ fn run(o: &Options) -> Result<(), String> {
         info!("obs", "wrote {}", path.display());
         mlpa_obs::finish();
     }
+    mlpa_obs::telemetry::set_run_phase("done");
     Ok(())
 }

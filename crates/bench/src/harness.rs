@@ -257,6 +257,10 @@ impl Experiment {
     pub fn run(&self, mut progress: impl FnMut(&BenchResult)) -> Result<Vec<BenchResult>, String> {
         let _span = mlpa_obs::span("bench.suite");
         let workers = mlpa_core::effective_jobs(self.jobs).min(self.suite.len().max(1));
+        // Progress gauges feed the live telemetry sampler and the
+        // status server's benchmarks done/total fields.
+        mlpa_obs::gauge_set("bench.total", self.suite.len() as u64);
+        mlpa_obs::gauge_set("bench.done", 0);
         if workers <= 1 {
             // A single-worker guard so serial runs still report
             // utilization.
@@ -267,6 +271,7 @@ impl Experiment {
                     .busy(|| self.run_benchmark(spec))
                     .map_err(|e| format!("{}: {e}", spec.name))?;
                 progress(&r);
+                mlpa_obs::gauge_set("bench.done", out.len() as u64 + 1);
                 // A counter snapshot per completed benchmark gives the
                 // trace converter its counter-series timeline.
                 mlpa_obs::emit_counters_snapshot();
@@ -350,8 +355,9 @@ impl Experiment {
                 // Stream progress for the completed prefix, in order.
                 while let Some(Some(done)) = slots.get(emitted) {
                     progress(done);
-                    mlpa_obs::emit_counters_snapshot();
                     emitted += 1;
+                    mlpa_obs::gauge_set("bench.done", emitted as u64);
+                    mlpa_obs::emit_counters_snapshot();
                 }
             }
 

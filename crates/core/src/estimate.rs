@@ -169,6 +169,8 @@ fn execute_points_serial(
     let mut pos = 0u64;
     // A single-worker guard so serial runs still report utilization.
     let mut worker = mlpa_obs::worker("plan", 0);
+    // One job in flight for the whole serial traversal.
+    mlpa_obs::gauge_set("core.plan.inflight", 1);
 
     // Warm mode keeps one continuously-warmed state for the whole
     // traversal; each point receives a snapshot of it.
@@ -223,6 +225,7 @@ fn execute_points_serial(
         });
         runs.push(run);
     }
+    mlpa_obs::gauge_set("core.plan.inflight", 0);
     runs
 }
 
@@ -235,12 +238,13 @@ fn execute_points_parallel(
 ) -> Vec<PointRun> {
     let points = plan.points();
     let next = AtomicUsize::new(0);
+    let inflight = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<PointRun, String>)>();
 
     std::thread::scope(|s| {
         for w in 0..workers {
             let tx = tx.clone();
-            let next = &next;
+            let (next, inflight) = (&next, &inflight);
             s.spawn(move || {
                 let mut guard = mlpa_obs::worker("plan", w);
                 // Claim points dynamically: early points have short
@@ -251,6 +255,10 @@ fn execute_points_parallel(
                     let Some(p) = points.get(i) else { break };
                     let span = mlpa_obs::span_labeled("core.plan.point", &format!("point {i}"));
                     let span_id = span.id();
+                    mlpa_obs::gauge_set(
+                        "core.plan.inflight",
+                        inflight.fetch_add(1, Ordering::Relaxed) as u64 + 1,
+                    );
                     // A panicking job must not be swallowed into the
                     // joined results: capture the payload and report it
                     // with the job's identity attached.
@@ -259,6 +267,10 @@ fn execute_points_parallel(
                             simulate_point_standalone(cb, config, p.start, p.len, mode)
                         }))
                     });
+                    mlpa_obs::gauge_set(
+                        "core.plan.inflight",
+                        inflight.fetch_sub(1, Ordering::Relaxed) as u64 - 1,
+                    );
                     drop(span);
                     let run = run.map_err(|payload| {
                         // `&*payload`, not `&payload`: a `Box<dyn Any>`

@@ -364,6 +364,8 @@ impl<'b> ProfilingContext<'b> {
             }
             let _span = mlpa_obs::span("core.profile.shard");
             mlpa_obs::add("core.profile.shards_run", 1);
+            mlpa_obs::gauge_set("core.shard.total", keys.len() as u64);
+            mlpa_obs::gauge_set("core.shard.segment", k as u64);
             let mut prof = ShardFineProfiler::new(&self.projection, self.fine_interval, &fine_t);
             let mut mon = ShardLoopMonitor::new(loop_t.clone());
             while stream.emitted() < t_end {
@@ -410,6 +412,11 @@ impl<'b> ProfilingContext<'b> {
                         }
                         let _span = mlpa_obs::span("core.profile.shard");
                         mlpa_obs::add("core.profile.shards_run", 1);
+                        // Last-write-wins: with concurrent shards the
+                        // gauge tracks whichever segment started most
+                        // recently, which is the live view we want.
+                        mlpa_obs::gauge_set("core.shard.total", targets.len() as u64 - 1);
+                        mlpa_obs::gauge_set("core.shard.segment", k as u64);
                         let (t_begin, t_end) = (targets[k], targets[k + 1]);
                         let mut stream = WorkloadStream::new(cb);
                         let mut scratch = Vec::new();
@@ -487,6 +494,8 @@ impl<'b> ProfilingContext<'b> {
             }
             let _span = mlpa_obs::span("core.profile.shard");
             mlpa_obs::add("core.profile.shards_run", 1);
+            mlpa_obs::gauge_set("core.shard.total", keys.len() as u64);
+            mlpa_obs::gauge_set("core.shard.segment", k as u64);
             let mut prof = ShardBoundaryProfiler::new(&self.projection, &tracker);
             while stream.emitted() < t_end {
                 let Some(m) = stream.next_block_meta(&mut scratch) else { break };
@@ -530,6 +539,8 @@ impl<'b> ProfilingContext<'b> {
                         }
                         let _span = mlpa_obs::span("core.profile.shard");
                         mlpa_obs::add("core.profile.shards_run", 1);
+                        mlpa_obs::gauge_set("core.shard.total", targets.len() as u64 - 1);
+                        mlpa_obs::gauge_set("core.shard.segment", k as u64);
                         let (t_begin, t_end) = (targets[k], targets[k + 1]);
                         let mut stream = WorkloadStream::new(cb);
                         let mut scratch = Vec::new();

@@ -7,8 +7,10 @@
 //! `counters` snapshots become counter tracks (`"ph":"C"`) carrying
 //! per-level cache hit rates and instruction deltas.
 //!
-//! Both stream generations convert: v2 streams carry a `tid` per event;
-//! v1 streams (no `tid`) collapse onto track 0.
+//! All stream generations convert: v2+ streams carry a `tid` per event;
+//! v1 streams (no `tid`) collapse onto track 0. v3 streams additionally
+//! carry the background sampler's `sample` events, which become counter
+//! tracks for peak RSS and every live gauge.
 //!
 //! Usage: `mlpa-trace --events <events.jsonl> [--out <trace.json>]`
 //! (stdout when `--out` is omitted).
@@ -108,6 +110,7 @@ fn convert(text: &str) -> Result<String, String> {
             "worker" => worker_events(&v),
             "log" => log_event(&v),
             "counters" => counter_events(&v, &mut prev_counters),
+            "sample" => sample_events(&v),
             "run_start" | "run_end" => marker_event(&v, &ev),
             // Histogram summaries have no timeline extent; RUN_REPORT
             // carries them.
@@ -231,6 +234,36 @@ fn counter_events(v: &Value, prev: &mut BTreeMap<String, f64>) -> Result<Vec<Val
     Ok(out)
 }
 
+/// A sampler tick becomes counter tracks: peak RSS in MiB plus one
+/// track per live gauge. The cumulative counters a sample also carries
+/// are skipped here — the periodic `counters` snapshots already feed
+/// the derived hit-rate and instruction tracks.
+fn sample_events(v: &Value) -> Result<Vec<Value>, String> {
+    let ts = num_field(v, "t_us")?;
+    let rss = num_field(v, "rss_bytes")?;
+    let mut out = vec![obj(vec![
+        ("name", Value::Str("peak RSS MiB".into())),
+        ("ph", Value::Str("C".into())),
+        ("ts", Value::Num(ts)),
+        ("pid", Value::Num(1.0)),
+        ("args", obj(vec![("rss", Value::Num((rss / (1024.0 * 1024.0) * 100.0).round() / 100.0))])),
+    ])];
+    if let Some(gauges) = v.get("gauges").and_then(Value::as_obj) {
+        for (name, value) in gauges {
+            if let Some(n) = value.as_f64() {
+                out.push(obj(vec![
+                    ("name", Value::Str(format!("gauge {name}"))),
+                    ("ph", Value::Str("C".into())),
+                    ("ts", Value::Num(ts)),
+                    ("pid", Value::Num(1.0)),
+                    ("args", obj(vec![("value", Value::Num(n))])),
+                ]));
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +356,29 @@ mod tests {
             .map(|e| e.get("args").unwrap().get("simulated").and_then(Value::as_f64).unwrap())
             .collect();
         assert_eq!(insts, vec![100.0, 200.0]);
+    }
+
+    #[test]
+    fn sample_events_become_rss_and_gauge_tracks() {
+        let v3 = concat!(
+            "{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v3\",\"t_us\":0}\n",
+            "{\"ev\":\"sample\",\"schema\":\"mlpa-sample-v1\",\"tick\":0,\"t_us\":5,\
+             \"rss_bytes\":3145728,\"counters\":{\"sim.instructions\":10},\
+             \"gauges\":{\"sim.rob.occupancy\":14},\"pools\":[]}\n",
+            "{\"ev\":\"run_end\",\"t_us\":9}\n",
+        );
+        let doc = json::parse(&convert(v3).unwrap()).unwrap();
+        let rss = events(&doc)
+            .into_iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("peak RSS MiB"))
+            .unwrap();
+        assert_eq!(rss.get("ph").and_then(Value::as_str), Some("C"));
+        assert_eq!(rss.get("args").unwrap().get("rss").and_then(Value::as_f64), Some(3.0));
+        let gauge = events(&doc)
+            .into_iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("gauge sim.rob.occupancy"))
+            .unwrap();
+        assert_eq!(gauge.get("args").unwrap().get("value").and_then(Value::as_f64), Some(14.0));
     }
 
     #[test]

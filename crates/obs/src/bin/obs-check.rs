@@ -1,21 +1,32 @@
-//! Schema checker for obs output, used by the CI obs-smoke job.
+//! Schema checker for obs output, used by the CI obs-smoke and
+//! telemetry-smoke jobs.
 //!
 //! Validates (with no external tools) that:
 //!
 //! * a JSONL event stream holds exactly one well-formed JSON object per
 //!   line, each with a known `ev` tag and that tag's required fields.
-//!   Both stream generations are understood: v1 (no `schema` marker on
-//!   `run_start`, no `tid` fields) and v2 (`mlpa-events-v2`: `tid` on
-//!   span/worker/log events, `hist` and `counters` event kinds). A
-//!   stream mixing the two is rejected with a line-numbered error;
-//! * a `RUN_REPORT.json` matches the `mlpa-run-report-v2` schema —
-//!   including the histogram section and, when present, the accuracy
-//!   attribution section — and reports the counters the acceptance
-//!   criteria name (k-means iterations, cache hits/misses per level,
-//!   instructions simulated).
+//!   All three stream generations are understood: v1 (no `schema`
+//!   marker on `run_start`, no `tid` fields), v2 (`mlpa-events-v2`:
+//!   `tid` on span/worker/log events, `hist` and `counters` event
+//!   kinds) and v3 (`mlpa-events-v3`: adds the sampler's `sample`
+//!   events, whose payload carries its own `mlpa-sample-v1` schema tag,
+//!   a strictly increasing `tick`, and per-sample counter totals that
+//!   must never decrease). A stream mixing generations — or containing
+//!   an event kind or schema string this checker does not know — is
+//!   rejected with a line-numbered, named error;
+//! * a `RUN_REPORT.json` matches the `mlpa-run-report-v3` schema —
+//!   including the gauge section, the optional span-aggregated
+//!   self-profile, the histogram section and, when present, the
+//!   accuracy attribution section — and reports the counters the
+//!   acceptance criteria name (k-means iterations, cache hits/misses
+//!   per level, instructions simulated);
+//! * a `/metrics` scrape parses under the strict Prometheus text
+//!   checker (`--metrics`), with counters monotone non-decreasing
+//!   against an earlier scrape of the same run (`--metrics-prev`);
+//! * a `/status` body matches the `mlpa-status-v1` schema (`--status`).
 //!
 //! Usage: `obs-check --events <events.jsonl> --report <RUN_REPORT.json>`
-//! (either argument may be given alone). Exits non-zero with a
+//! (any argument may be given alone). Exits non-zero with a
 //! line-numbered message on the first violation.
 //!
 //! Warm-cache mode (`--min-cache-hit-rate R`, used by the CI cache-smoke
@@ -27,6 +38,7 @@
 //! zero — e.g. `core.truth.passes` on a resumed run.
 
 use mlpa_obs::json::{self, Value};
+use mlpa_obs::promtext;
 use std::process::ExitCode;
 
 /// Counters a complete instrumented run must have recorded.
@@ -58,12 +70,18 @@ struct ReportChecks {
 fn main() -> ExitCode {
     let mut events: Option<String> = None;
     let mut report: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut metrics_prev: Option<String> = None;
+    let mut status: Option<String> = None;
     let mut checks = ReportChecks::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--events" => events = args.next(),
             "--report" => report = args.next(),
+            "--metrics" => metrics = args.next(),
+            "--metrics-prev" => metrics_prev = args.next(),
+            "--status" => status = args.next(),
             "--require-zero" => match args.next() {
                 Some(name) => checks.require_zero.push(name),
                 None => {
@@ -89,15 +107,20 @@ fn main() -> ExitCode {
                 eprintln!("obs-check: unknown argument `{other}`");
                 eprintln!(
                     "usage: obs-check [--events <file.jsonl>] [--report <RUN_REPORT.json>] \
-                     [--require-zero <counter>]... [--require-nonzero <counter>]... \
-                     [--min-cache-hit-rate <0..1>]"
+                     [--metrics <scrape.txt> [--metrics-prev <scrape.txt>]] \
+                     [--status <status.json>] [--require-zero <counter>]... \
+                     [--require-nonzero <counter>]... [--min-cache-hit-rate <0..1>]"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
-    if events.is_none() && report.is_none() {
-        eprintln!("obs-check: nothing to do (pass --events and/or --report)");
+    if events.is_none() && report.is_none() && metrics.is_none() && status.is_none() {
+        eprintln!("obs-check: nothing to do (pass --events, --report, --metrics, or --status)");
+        return ExitCode::FAILURE;
+    }
+    if metrics_prev.is_some() && metrics.is_none() {
+        eprintln!("obs-check: --metrics-prev needs --metrics to compare against");
         return ExitCode::FAILURE;
     }
 
@@ -125,6 +148,37 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = metrics {
+        let prev = match metrics_prev.as_ref().map(std::fs::read_to_string).transpose() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("obs-check: {}: {e}", metrics_prev.as_deref().unwrap_or(""));
+                return ExitCode::FAILURE;
+            }
+        };
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| check_metrics(&s, prev.as_deref()))
+        {
+            Ok(n) => println!("obs-check: {path}: {n} metric samples OK"),
+            Err(e) => {
+                eprintln!("obs-check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = status {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| check_status(&s))
+        {
+            Ok(()) => println!("obs-check: {path}: status OK"),
+            Err(e) => {
+                eprintln!("obs-check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -143,17 +197,85 @@ fn num_field(v: &Value, key: &str) -> Result<f64, String> {
     field(v, key)?.as_f64().ok_or_else(|| format!("field `{key}` is not a number"))
 }
 
-/// Check `tid` presence against the stream schema: required in v2,
-/// forbidden (mixed-schema) in v1.
-fn check_tid(v: &Value, v2: bool) -> Result<(), String> {
-    match (v2, v.get("tid")) {
-        (true, None) => Err("missing field `tid` (required in a v2 stream)".into()),
+/// Check `tid` presence against the stream generation: required from
+/// v2 on, forbidden (mixed-schema) in v1.
+fn check_tid(v: &Value, gen: u8) -> Result<(), String> {
+    match (gen >= 2, v.get("tid")) {
+        (true, None) => Err(format!("missing field `tid` (required in a v{gen} stream)")),
         (true, Some(t)) => {
             t.as_f64().map(drop).ok_or_else(|| "field `tid` is not a number".to_string())
         }
         (false, Some(_)) => Err("v2 field `tid` in a v1 stream (mixed-schema)".into()),
         (false, None) => Ok(()),
     }
+}
+
+/// Map a `run_start` schema declaration to a stream generation, or a
+/// named error for a schema string this checker does not know.
+fn stream_gen(schema: Option<&Value>) -> Result<u8, String> {
+    match schema {
+        None => Ok(1),
+        Some(Value::Str(s)) if s == "mlpa-events-v2" => Ok(2),
+        Some(Value::Str(s)) if s == mlpa_obs::EVENTS_SCHEMA => Ok(3),
+        Some(Value::Str(s)) => Err(format!("unknown events schema `{s}`")),
+        Some(_) => Err("field `schema` is not a string".to_string()),
+    }
+}
+
+/// Validate one `sample` event against the telemetry contract: the
+/// payload schema must be [`mlpa_obs::SAMPLE_SCHEMA`], ticks strictly
+/// increase, and no counter total may ever decrease between samples.
+fn check_sample(
+    v: &Value,
+    last_tick: &mut Option<f64>,
+    prev_counters: &mut Vec<(String, f64)>,
+) -> Result<(), String> {
+    match v.get("schema") {
+        Some(Value::Str(s)) if s == mlpa_obs::SAMPLE_SCHEMA => {}
+        Some(Value::Str(s)) => return Err(format!("unknown sample schema `{s}`")),
+        Some(_) => return Err("field `schema` is not a string".into()),
+        None => return Err("missing field `schema` on sample event".into()),
+    }
+    for k in ["t_us", "rss_bytes"] {
+        num_field(v, k)?;
+    }
+    let tick = num_field(v, "tick")?;
+    if let Some(prev) = *last_tick {
+        if tick <= prev {
+            return Err(format!("sample tick {tick} not greater than previous tick {prev}"));
+        }
+    }
+    *last_tick = Some(tick);
+
+    let counters = field(v, "counters")?.as_obj().ok_or("field `counters` is not an object")?;
+    let mut current = Vec::with_capacity(counters.len());
+    for (name, value) in counters {
+        let value = value.as_f64().ok_or_else(|| format!("counter `{name}` is not a number"))?;
+        if let Some((_, prev)) = prev_counters.iter().find(|(n, _)| n == name) {
+            if value < *prev {
+                return Err(format!(
+                    "counter `{name}` decreased between samples ({prev} -> {value})"
+                ));
+            }
+        }
+        current.push((name.clone(), value));
+    }
+    *prev_counters = current;
+
+    let gauges = field(v, "gauges")?.as_obj().ok_or("field `gauges` is not an object")?;
+    for (name, value) in gauges {
+        if value.as_f64().is_none() {
+            return Err(format!("gauge `{name}` is not a number"));
+        }
+    }
+    let pools = field(v, "pools")?.as_arr().ok_or("field `pools` is not an array")?;
+    for (i, p) in pools.iter().enumerate() {
+        str_field(p, "pool").map_err(|e| format!("pools[{i}]: {e}"))?;
+        for k in ["live", "jobs", "busy_ms", "busy_frac"] {
+            num_field(p, k).map_err(|e| format!("pools[{i}]: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 /// Validate a JSONL event stream; returns the number of events.
@@ -166,7 +288,9 @@ fn check_events(text: &str) -> Result<usize, String> {
     let mut count = 0usize;
     let mut saw_start = false;
     let mut saw_end = false;
-    let mut v2 = false;
+    let mut gen = 1u8;
+    let mut last_tick: Option<f64> = None;
+    let mut prev_sample_counters: Vec<(String, f64)> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let lineno = lineno + 1;
         if line.trim().is_empty() {
@@ -181,26 +305,17 @@ fn check_events(text: &str) -> Result<usize, String> {
             return Err(format!("line {lineno}: stream must begin with run_start"));
         }
         let check = match ev.as_str() {
-            "run_start" => {
-                let schema = match v.get("schema") {
-                    None => Ok(false),
-                    Some(Value::Str(s)) if s == mlpa_obs::EVENTS_SCHEMA => Ok(true),
-                    Some(Value::Str(s)) => Err(format!("unknown events schema `{s}`")),
-                    Some(_) => Err("field `schema` is not a string".to_string()),
-                };
-                schema.and_then(|this_v2| {
-                    if saw_start && this_v2 != v2 {
-                        return Err(format!(
-                            "run_start declares {} but the stream began as {} (mixed-schema)",
-                            if this_v2 { "v2" } else { "v1" },
-                            if v2 { "v2" } else { "v1" },
-                        ));
-                    }
-                    saw_start = true;
-                    v2 = this_v2;
-                    num_field(&v, "t_us").map(drop)
-                })
-            }
+            "run_start" => stream_gen(v.get("schema")).and_then(|this_gen| {
+                if saw_start && this_gen != gen {
+                    return Err(format!(
+                        "run_start declares v{this_gen} but the stream began as v{gen} \
+                         (mixed-schema)",
+                    ));
+                }
+                saw_start = true;
+                gen = this_gen;
+                num_field(&v, "t_us").map(drop)
+            }),
             "run_end" => {
                 saw_end = true;
                 num_field(&v, "t_us").map(drop)
@@ -209,7 +324,7 @@ fn check_events(text: &str) -> Result<usize, String> {
                 .iter()
                 .try_for_each(|k| num_field(&v, k).map(drop))
                 .and_then(|()| str_field(&v, "name").map(drop))
-                .and_then(|()| check_tid(&v, v2))
+                .and_then(|()| check_tid(&v, gen))
                 .and_then(|()| match field(&v, "parent")? {
                     Value::Null | Value::Num(_) => Ok(()),
                     _ => Err("field `parent` is not a number or null".into()),
@@ -218,19 +333,19 @@ fn check_events(text: &str) -> Result<usize, String> {
                 .iter()
                 .try_for_each(|k| num_field(&v, k).map(drop))
                 .and_then(|()| str_field(&v, "pool").map(drop))
-                .and_then(|()| check_tid(&v, v2)),
+                .and_then(|()| check_tid(&v, gen)),
             "log" => ["level", "target", "msg"]
                 .iter()
                 .try_for_each(|k| str_field(&v, k).map(drop))
                 .and_then(|()| num_field(&v, "t_us").map(drop))
-                .and_then(|()| check_tid(&v, v2)),
-            "hist" if !v2 => Err("v2 event kind `hist` in a v1 stream (mixed-schema)".into()),
+                .and_then(|()| check_tid(&v, gen)),
+            "hist" if gen < 2 => Err("v2 event kind `hist` in a v1 stream (mixed-schema)".into()),
             "hist" => ["t_us", "count", "sum", "min", "max", "p50", "p90", "p99"]
                 .iter()
                 .try_for_each(|k| num_field(&v, k).map(drop))
                 .and_then(|()| str_field(&v, "name").map(drop))
                 .and_then(|()| str_field(&v, "unit").map(drop)),
-            "counters" if !v2 => {
+            "counters" if gen < 2 => {
                 Err("v2 event kind `counters` in a v1 stream (mixed-schema)".into())
             }
             "counters" => num_field(&v, "t_us").map(drop).and_then(|()| {
@@ -243,6 +358,10 @@ fn check_events(text: &str) -> Result<usize, String> {
                 }
                 Ok(())
             }),
+            "sample" if gen < 3 => {
+                Err(format!("v3 event kind `sample` in a v{gen} stream (mixed-schema)"))
+            }
+            "sample" => check_sample(&v, &mut last_tick, &mut prev_sample_counters),
             other => Err(format!("unknown event kind `{other}`")),
         };
         check.map_err(|e| format!("line {lineno}: {e}"))?;
@@ -258,6 +377,56 @@ fn check_events(text: &str) -> Result<usize, String> {
         return Err("no run_end event".into());
     }
     Ok(count)
+}
+
+/// Validate the optional span-aggregated self-profile section. Only
+/// shape and internal consistency are checked here; which span names
+/// and call counts are *expected* is obs-diff's job.
+fn check_self_profile(sp: &Value) -> Result<(), String> {
+    let spans = field(sp, "spans")?.as_arr().ok_or("field `spans` is not an array")?;
+    for (i, s) in spans.iter().enumerate() {
+        str_field(s, "name").map_err(|e| format!("self_profile.spans[{i}]: {e}"))?;
+        for k in ["calls", "total_s", "self_s", "p50_us", "p99_us"] {
+            num_field(s, k).map_err(|e| format!("self_profile.spans[{i}]: {e}"))?;
+        }
+        let total = num_field(s, "total_s").expect("checked");
+        let own = num_field(s, "self_s").expect("checked");
+        if own < 0.0 || own > total + 1e-6 {
+            return Err(format!(
+                "self_profile.spans[{i}]: self_s {own} outside [0, total_s {total}]"
+            ));
+        }
+    }
+    let tree = field(sp, "tree")?.as_arr().ok_or("field `tree` is not an array")?;
+    for (i, e) in tree.iter().enumerate() {
+        str_field(e, "name").map_err(|e| format!("self_profile.tree[{i}]: {e}"))?;
+        for k in ["calls", "total_s"] {
+            num_field(e, k).map_err(|e| format!("self_profile.tree[{i}]: {e}"))?;
+        }
+        match field(e, "parent").map_err(|e| format!("self_profile.tree[{i}]: {e}"))? {
+            Value::Null | Value::Str(_) => {}
+            _ => return Err(format!("self_profile.tree[{i}]: `parent` is not a string or null")),
+        }
+    }
+    let pools = field(sp, "pools")?.as_arr().ok_or("field `pools` is not an array")?;
+    for (i, p) in pools.iter().enumerate() {
+        str_field(p, "pool").map_err(|e| format!("self_profile.pools[{i}]: {e}"))?;
+        for k in ["workers", "jobs", "busy_s", "wall_s", "utilization"] {
+            num_field(p, k).map_err(|e| format!("self_profile.pools[{i}]: {e}"))?;
+        }
+    }
+    match field(sp, "critical_path")? {
+        Value::Null => {}
+        c => {
+            str_field(c, "pool").map_err(|e| format!("self_profile.critical_path: {e}"))?;
+            for k in
+                ["workers", "wall_s", "max_busy_s", "mean_busy_s", "imbalance", "speedup_limit"]
+            {
+                num_field(c, k).map_err(|e| format!("self_profile.critical_path: {e}"))?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Validate a `RUN_REPORT.json` document against the base schema plus
@@ -345,6 +514,12 @@ fn check_report(text: &str, checks: &ReportChecks) -> Result<(), String> {
         }
     }
 
+    let gauges = field(&v, "gauges")?.as_arr().ok_or("field `gauges` is not an array")?;
+    for (i, g) in gauges.iter().enumerate() {
+        str_field(g, "name").map_err(|e| format!("gauges[{i}]: {e}"))?;
+        num_field(g, "value").map_err(|e| format!("gauges[{i}]: {e}"))?;
+    }
+
     let hists = field(&v, "histograms")?.as_arr().ok_or("field `histograms` is not an array")?;
     if hists.is_empty() && checks.min_cache_hit_rate.is_none() {
         return Err("no histograms recorded".into());
@@ -372,6 +547,13 @@ fn check_report(text: &str, checks: &ReportChecks) -> Result<(), String> {
         }
     }
 
+    // The self-profile section is optional (absent when no spans were
+    // collected) but must be well-formed when present.
+    match v.get("self_profile") {
+        None | Some(Value::Null) => {}
+        Some(sp) => check_self_profile(sp)?,
+    }
+
     // The accuracy attribution section is optional (only emitted by the
     // experiment harness with --attrib) but must be well-formed when
     // present.
@@ -394,6 +576,47 @@ fn check_report(text: &str, checks: &ReportChecks) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate a `/metrics` scrape under the strict Prometheus text
+/// checker; with an earlier scrape of the same run, additionally
+/// require every counter series to be monotone non-decreasing.
+/// Returns the number of samples in the current scrape.
+fn check_metrics(current: &str, prev: Option<&str>) -> Result<usize, String> {
+    let cur = promtext::check(current)?;
+    if let Some(prev_text) = prev {
+        let prev = promtext::check(prev_text).map_err(|e| format!("previous scrape: {e}"))?;
+        let cur_counters = cur.counter_values();
+        for (name, pv) in prev.counter_values() {
+            let cv = *cur_counters
+                .get(name)
+                .ok_or_else(|| format!("counter `{name}` disappeared between scrapes"))?;
+            if cv < pv {
+                return Err(format!("counter `{name}` decreased between scrapes ({pv} -> {cv})"));
+            }
+        }
+    }
+    Ok(cur.samples.len())
+}
+
+/// Validate a `GET /status` body against the `mlpa-status-v1` schema.
+fn check_status(text: &str) -> Result<(), String> {
+    let v = json::parse(text)?;
+    let schema = str_field(&v, "schema")?;
+    if schema != mlpa_obs::STATUS_SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{}`", mlpa_obs::STATUS_SCHEMA));
+    }
+    str_field(&v, "phase")?;
+    for k in ["benchmarks_done", "benchmarks_total", "segment", "uptime_ticks", "rss_bytes"] {
+        num_field(&v, k)?;
+    }
+    let gauges = field(&v, "gauges")?.as_obj().ok_or("field `gauges` is not an object")?;
+    for (name, value) in gauges {
+        if value.as_f64().is_none() {
+            return Err(format!("gauge `{name}` is not a number"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +630,22 @@ mod tests {
         assert!(check_events("{\"ev\":\"run_start\",\"t_us\":0}\n").is_err());
         // First event must be run_start.
         assert!(check_events("{\"ev\":\"run_end\",\"t_us\":0}\n").is_err());
+    }
+
+    #[test]
+    fn unknown_event_kinds_are_named_in_the_error() {
+        // A bogus event planted mid-stream must fail with the kind
+        // named and the line numbered, not be silently skipped.
+        let planted = concat!(
+            "{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v3\",\"t_us\":0}\n",
+            "{\"ev\":\"telemetry2\",\"t_us\":1}\n",
+            "{\"ev\":\"run_end\",\"t_us\":9}\n",
+        );
+        let err = check_events(planted).unwrap_err();
+        assert!(
+            err.starts_with("line 2:") && err.contains("unknown event kind `telemetry2`"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -437,6 +676,68 @@ mod tests {
             "{\"ev\":\"run_end\",\"t_us\":9}\n",
         );
         assert_eq!(check_events(stream).unwrap(), 7);
+    }
+
+    fn sample_line(tick: u64, insts: u64) -> String {
+        format!(
+            "{{\"ev\":\"sample\",\"schema\":\"mlpa-sample-v1\",\"tick\":{tick},\"t_us\":{},\
+             \"rss_bytes\":1048576,\"counters\":{{\"sim.instructions\":{insts}}},\
+             \"gauges\":{{\"sim.rob.occupancy\":12}},\
+             \"pools\":[{{\"pool\":\"plan\",\"live\":2,\"jobs\":3,\"busy_ms\":40,\
+             \"busy_frac\":1.7321}}]}}\n",
+            tick * 250_000,
+        )
+    }
+
+    #[test]
+    fn accepts_a_complete_v3_stream_with_samples() {
+        let stream = format!(
+            concat!(
+                "{{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v3\",\"t_us\":0}}\n",
+                "{s0}",
+                "{{\"ev\":\"span\",\"name\":\"a\",\"id\":1,\"parent\":null,\"tid\":0,\
+                 \"t_us\":1,\"dur_us\":5}}\n",
+                "{s1}",
+                "{{\"ev\":\"run_end\",\"t_us\":9}}\n",
+            ),
+            s0 = sample_line(0, 100),
+            s1 = sample_line(1, 250),
+        );
+        assert_eq!(check_events(&stream).unwrap(), 5);
+    }
+
+    #[test]
+    fn sample_contract_is_enforced() {
+        let wrap = |middle: &str| {
+            format!(
+                "{{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v3\",\"t_us\":0}}\n\
+                 {middle}{{\"ev\":\"run_end\",\"t_us\":9}}\n"
+            )
+        };
+
+        // A sample in a v2 stream is mixed-schema.
+        let in_v2 = format!(
+            "{{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v2\",\"t_us\":0}}\n{}\
+             {{\"ev\":\"run_end\",\"t_us\":9}}\n",
+            sample_line(0, 100),
+        );
+        let err = check_events(&in_v2).unwrap_err();
+        assert!(err.starts_with("line 2:") && err.contains("mixed-schema"), "{err}");
+
+        // The payload must declare the sample schema this checker knows.
+        let bad_schema = sample_line(0, 100).replace("mlpa-sample-v1", "mlpa-sample-v9");
+        let err = check_events(&wrap(&bad_schema)).unwrap_err();
+        assert!(err.contains("unknown sample schema `mlpa-sample-v9`"), "{err}");
+
+        // Ticks must strictly increase.
+        let stuck = format!("{}{}", sample_line(3, 100), sample_line(3, 200));
+        let err = check_events(&wrap(&stuck)).unwrap_err();
+        assert!(err.starts_with("line 3:") && err.contains("tick"), "{err}");
+
+        // Counter totals never decrease between samples.
+        let shrinking = format!("{}{}", sample_line(0, 500), sample_line(1, 400));
+        let err = check_events(&wrap(&shrinking)).unwrap_err();
+        assert!(err.starts_with("line 3:") && err.contains("decreased between samples"), "{err}");
     }
 
     #[test]
@@ -481,7 +782,7 @@ mod tests {
         assert!(err.starts_with("line 3:") && err.contains("mixed-schema"), "{err}");
 
         // Unknown future schema.
-        let unknown = "{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v3\",\"t_us\":0}\n";
+        let unknown = "{\"ev\":\"run_start\",\"schema\":\"mlpa-events-v4\",\"t_us\":0}\n";
         assert!(check_events(unknown).unwrap_err().contains("unknown events schema"));
     }
 
@@ -502,6 +803,7 @@ mod tests {
                 busy_fraction: 0.8,
             }],
             counters: REQUIRED_COUNTERS.iter().map(|n| (n.to_string(), 1)).collect(),
+            gauges: vec![("sim.rob.occupancy".into(), 12)],
             histograms: vec![mlpa_obs::HistogramStat {
                 name: "sim.rob.occupancy".into(),
                 unit: "n".into(),
@@ -513,6 +815,7 @@ mod tests {
                 p90: 8,
                 p99: 8,
             }],
+            self_profile: None,
         }
     }
 
@@ -538,6 +841,38 @@ mod tests {
         report.histograms[0].p99 = 9; // outside [min, max]
         let err = check_report(&report.to_json(), &base()).unwrap_err();
         assert!(err.contains("p99"), "{err}");
+    }
+
+    #[test]
+    fn report_self_profile_is_validated_when_present() {
+        use mlpa_obs::selfprofile::{SelfProfile, SpanAgg, SpanEdge};
+        let mut report = sample_report();
+        report.self_profile = Some(SelfProfile {
+            spans: vec![SpanAgg {
+                name: "core.profile".into(),
+                calls: 2,
+                total_s: 0.5,
+                self_s: 0.3,
+                p50_us: 100,
+                p99_us: 400,
+            }],
+            tree: vec![SpanEdge {
+                parent: None,
+                name: "core.profile".into(),
+                calls: 2,
+                total_s: 0.5,
+            }],
+            ..SelfProfile::default()
+        });
+        assert!(
+            check_report(&report.to_json(), &base()).is_ok(),
+            "{:?}",
+            check_report(&report.to_json(), &base())
+        );
+        // A span whose self time exceeds its total is inconsistent.
+        report.self_profile.as_mut().unwrap().spans[0].self_s = 0.9;
+        let err = check_report(&report.to_json(), &base()).unwrap_err();
+        assert!(err.contains("self_s"), "{err}");
     }
 
     #[test]
@@ -615,5 +950,43 @@ mod tests {
         report.counters.clear();
         let err = check_report(&report.to_json(), &warm).unwrap_err();
         assert!(err.contains("cached at all"), "{err}");
+    }
+
+    fn scrape(insts: u64) -> String {
+        format!(
+            "# HELP mlpa_counter_sim_instructions_total Monotonic counter.\n\
+             # TYPE mlpa_counter_sim_instructions_total counter\n\
+             mlpa_counter_sim_instructions_total {insts}\n\
+             # HELP mlpa_gauge_sim_rob_occupancy Last-write-wins gauge.\n\
+             # TYPE mlpa_gauge_sim_rob_occupancy gauge\n\
+             mlpa_gauge_sim_rob_occupancy 12\n"
+        )
+    }
+
+    #[test]
+    fn metrics_scrapes_must_parse_and_counters_must_grow() {
+        assert_eq!(check_metrics(&scrape(100), None).unwrap(), 2);
+        // Counters up or flat between scrapes: fine. Gauges may move
+        // either way and are not compared.
+        assert!(check_metrics(&scrape(250), Some(&scrape(100))).is_ok());
+        assert!(check_metrics(&scrape(100), Some(&scrape(100))).is_ok());
+        // A shrinking counter is a torn or restarted registry.
+        let err = check_metrics(&scrape(100), Some(&scrape(250))).unwrap_err();
+        assert!(err.contains("decreased between scrapes"), "{err}");
+        // A malformed exposition is rejected outright.
+        assert!(check_metrics("mlpa_counter_x_total 1\n", None).is_err());
+    }
+
+    #[test]
+    fn status_body_is_validated() {
+        let good = "{\"schema\":\"mlpa-status-v1\",\"phase\":\"benchmarks\",\
+                    \"benchmarks_done\":1,\"benchmarks_total\":3,\"segment\":7,\
+                    \"uptime_ticks\":12,\"rss_bytes\":1048576,\
+                    \"gauges\":{\"bench.done\":1}}";
+        assert!(check_status(good).is_ok(), "{:?}", check_status(good));
+        let err = check_status(&good.replace("mlpa-status-v1", "mlpa-status-v9")).unwrap_err();
+        assert!(err.contains("mlpa-status-v9"), "{err}");
+        let err = check_status(&good.replace(",\"uptime_ticks\":12", "")).unwrap_err();
+        assert!(err.contains("uptime_ticks"), "{err}");
     }
 }

@@ -26,7 +26,8 @@
 //!    [--only SECTION[,SECTION]...]`
 //!
 //! `--only` restricts a run-report diff to the named sections (`phases`,
-//! `counters`, `workers`, `histograms`, `attribution`, `wall`). The CI
+//! `counters`, `workers`, `histograms`, `gauges`, `self_profile`,
+//! `attribution`, `wall`). The CI
 //! cache-smoke job uses `--only attribution` to compare a cold run
 //! against a warm `--resume` run: the accuracy outputs must be
 //! identical, while phase/counter/worker traffic legitimately collapses
@@ -40,7 +41,16 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 /// Run-report sections `--only` can select.
-const SECTIONS: &[&str] = &["phases", "counters", "workers", "histograms", "attribution", "wall"];
+const SECTIONS: &[&str] = &[
+    "phases",
+    "counters",
+    "workers",
+    "histograms",
+    "gauges",
+    "self_profile",
+    "attribution",
+    "wall",
+];
 
 /// Relative tolerances; `None` means "skip the timing check" for the
 /// timing knobs and "exact" for the deterministic knobs.
@@ -236,7 +246,9 @@ fn diff(base: &Value, cur: &Value, tol: &Tolerances) -> Result<Diff, String> {
         return Err(format!("schema mismatch: baseline `{base_schema}`, current `{cur_schema}`"));
     }
     match base_schema.as_str() {
-        "mlpa-run-report-v1" | "mlpa-run-report-v2" => diff_run_report(base, cur, tol),
+        "mlpa-run-report-v1" | "mlpa-run-report-v2" | "mlpa-run-report-v3" => {
+            diff_run_report(base, cur, tol)
+        }
         "mlpa-bench-phase-v1"
         | "mlpa-bench-phase-v2"
         | "mlpa-bench-suite-v1"
@@ -411,6 +423,30 @@ fn diff_run_report(base: &Value, cur: &Value, tol: &Tolerances) -> Result<Diff, 
         })?;
     }
 
+    // Gauges (v3 only): which gauges exist is deterministic for a fixed
+    // configuration; their last-written values depend on scheduling and
+    // are never compared.
+    if tol.wants("gauges") && (base.get("gauges").is_some() || cur.get("gauges").is_some()) {
+        let (b, c) = (by_key(base, "gauges", "name")?, by_key(cur, "gauges", "name")?);
+        matched(&mut diff, "gauge", &b, &c, |_diff, _name, _b, _c| Ok(()))?;
+    }
+
+    // Self-profile (v3 only): span names, call counts, and call-tree
+    // edges are deterministic; all wall times, pool utilization, and the
+    // critical-path summary are timing and never compared.
+    if tol.wants("self_profile") {
+        let non_null = |v: &Value| match v.get("self_profile") {
+            None | Some(Value::Null) => None,
+            Some(sp) => Some(sp.clone()),
+        };
+        match (non_null(base), non_null(cur)) {
+            (Some(b), Some(c)) => diff_self_profile(&mut diff, &b, &c)?,
+            (Some(_), None) => diff.fail("self_profile section missing from current run".into()),
+            (None, Some(_)) => diff.note("self_profile section is new in current run".into()),
+            (None, None) => {}
+        }
+    }
+
     // Accuracy attribution: per-phase weights and error shares are
     // deterministic model outputs, so any drift is a real change.
     if tol.wants("attribution") {
@@ -434,6 +470,51 @@ fn diff_run_report(base: &Value, cur: &Value, tol: &Tolerances) -> Result<Diff, 
         }
     }
     Ok(diff)
+}
+
+/// Compare the structural half of two self-profile sections: spans by
+/// name (call counts exact) and tree edges by `(parent, name)` (call
+/// counts exact). Timing fields are deliberately not read.
+fn diff_self_profile(diff: &mut Diff, base: &Value, cur: &Value) -> Result<(), String> {
+    let (b, c) = (by_key(base, "spans", "name")?, by_key(cur, "spans", "name")?);
+    matched(diff, "self_profile span", &b, &c, |diff, name, b, c| {
+        diff.check_rel(
+            &format!("self_profile span `{name}` calls"),
+            num_field(b, "calls")?,
+            num_field(c, "calls")?,
+            0.0,
+        );
+        Ok(())
+    })?;
+
+    let edges = |v: &Value| -> Result<BTreeMap<String, f64>, String> {
+        let arr = v.get("tree").and_then(Value::as_arr).ok_or("missing array field `tree`")?;
+        let mut map = BTreeMap::new();
+        for e in arr {
+            let parent = match e.get("parent") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => "(root)".to_string(),
+            };
+            map.insert(format!("{parent} -> {}", str_field(e, "name")?), num_field(e, "calls")?);
+        }
+        Ok(map)
+    };
+    let (b, c) = (edges(base)?, edges(cur)?);
+    for (edge, calls) in &b {
+        match c.get(edge) {
+            None => diff.fail(format!("self_profile edge `{edge}` missing from current run")),
+            Some(ccalls) if ccalls != calls => diff.fail(format!(
+                "self_profile edge `{edge}`: baseline {calls} calls, current {ccalls}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for edge in c.keys() {
+        if !b.contains_key(edge) {
+            diff.note(format!("self_profile edge `{edge}` is new in current run"));
+        }
+    }
+    Ok(())
 }
 
 fn diff_attribution(
@@ -591,6 +672,7 @@ mod tests {
                 },
             ],
             counters: vec![("sim.instructions".into(), counter)],
+            gauges: vec![("sim.rob.occupancy".into(), 12)],
             histograms: vec![mlpa_obs::HistogramStat {
                 name: "sim.rob.occupancy".into(),
                 unit: "n".into(),
@@ -602,6 +684,23 @@ mod tests {
                 p90: 15,
                 p99: 16,
             }],
+            self_profile: Some(mlpa_obs::selfprofile::SelfProfile {
+                spans: vec![mlpa_obs::selfprofile::SpanAgg {
+                    name: "sim.detailed".into(),
+                    calls: 4,
+                    total_s: 1.0,
+                    self_s: 1.0,
+                    p50_us: 100,
+                    p99_us: 900,
+                }],
+                tree: vec![mlpa_obs::selfprofile::SpanEdge {
+                    parent: None,
+                    name: "sim.detailed".into(),
+                    calls: 4,
+                    total_s: 1.0,
+                }],
+                ..mlpa_obs::selfprofile::SelfProfile::default()
+            }),
         };
         r.to_json()
     }
@@ -672,7 +771,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_an_error() {
-        let v1 = report(100, 40).replacen("mlpa-run-report-v2", "mlpa-run-report-v1", 1);
+        let v1 = report(100, 40).replacen("mlpa-run-report-v3", "mlpa-run-report-v1", 1);
         let err = diff(
             &json::parse(&v1).unwrap(),
             &json::parse(&report(100, 40)).unwrap(),
@@ -726,6 +825,55 @@ mod tests {
         // Attribution missing from current is a failure even filtered.
         let d = run(&with_attr(100, 0.5), &report(3, 40), &only(&["attribution"]));
         assert!(d.failures.iter().any(|f| f.contains("attribution")), "{:?}", d.failures);
+    }
+
+    #[test]
+    fn gauge_names_are_gated_but_values_are_not() {
+        // A gauge value is whatever was last written: drift passes.
+        let moved = report(100, 40).replacen(
+            "{\"name\": \"sim.rob.occupancy\", \"value\": 12}",
+            "{\"name\": \"sim.rob.occupancy\", \"value\": 97}",
+            1,
+        );
+        let d = run(&report(100, 40), &moved, &Tolerances::default());
+        assert!(d.failures.is_empty(), "{:?}", d.failures);
+        // A gauge disappearing means instrumentation was lost: fail.
+        let gone = report(100, 40).replacen(
+            "{\"name\": \"sim.rob.occupancy\", \"value\": 12}",
+            "{\"name\": \"sim.lsq.occupancy\", \"value\": 12}",
+            1,
+        );
+        let d = run(&report(100, 40), &gone, &Tolerances::default());
+        assert!(
+            d.failures.iter().any(|f| f.contains("gauge `sim.rob.occupancy`")),
+            "{:?}",
+            d.failures
+        );
+        assert!(d.notes.iter().any(|n| n.contains("sim.lsq.occupancy")), "{:?}", d.notes);
+    }
+
+    #[test]
+    fn self_profile_structure_is_gated_but_timing_is_not() {
+        // Wall-time drift in the profile passes even at zero tolerance.
+        let slower = report(100, 40).replace("\"self_s\": 1.000000", "\"self_s\": 0.250000");
+        let d = run(&report(100, 40), &slower, &Tolerances::default());
+        assert!(d.failures.is_empty(), "{:?}", d.failures);
+        // A changed call count is a structural regression.
+        let fewer =
+            report(100, 40).replace("\"calls\": 4, \"total_s\"", "\"calls\": 3, \"total_s\"");
+        let d = run(&report(100, 40), &fewer, &Tolerances::default());
+        assert!(
+            d.failures.iter().any(|f| f.contains("self_profile") && f.contains("calls")),
+            "{:?}",
+            d.failures
+        );
+        // A re-parented edge is a structural regression too.
+        let reparented = report(100, 40).replace(
+            "{\"parent\": null, \"name\": \"sim.detailed\"",
+            "{\"parent\": \"core.profile\", \"name\": \"sim.detailed\"",
+        );
+        let d = run(&report(100, 40), &reparented, &Tolerances::default());
+        assert!(d.failures.iter().any(|f| f.contains("self_profile edge")), "{:?}", d.failures);
     }
 
     fn bench_doc(mean: u64, speedup: f64) -> String {

@@ -1,6 +1,6 @@
 //! Zero-cost observability for the mlpa workspace.
 //!
-//! Four instruments, one switch:
+//! Five instruments, one switch:
 //!
 //! * **Spans** — hierarchical wall-clock timings ([`span`],
 //!   [`span_labeled`]). Parent/child links follow the per-thread span
@@ -8,12 +8,25 @@
 //! * **Counters** — named monotonic totals ([`add`]) backed by leaked
 //!   `AtomicU64`s; hot loops should accumulate locally and flush once
 //!   per call.
+//! * **Gauges** — named last-write-wins instantaneous values
+//!   ([`gauge_set`]): ROB/LSQ occupancy, in-flight plan jobs, cache hit
+//!   rate, current profiling segment. Unlike counters they move in both
+//!   directions, so they are never regression-gated — they exist for
+//!   the live telemetry sampler and the `/metrics` endpoint.
 //! * **Histograms** — lock-free log2-bucketed distributions
 //!   ([`hist_record`], [`hist_merge`]): span-duration spread, ROB/LSQ
 //!   occupancy, cache-miss run lengths, k-means iterations. Hot loops
 //!   accumulate into a local [`HistTally`] and merge once per call.
 //! * **Workers** — per-worker utilization guards ([`worker`]) used by
-//!   the plan-execution and experiment-suite thread pools.
+//!   the plan-execution and experiment-suite thread pools; live pools
+//!   are additionally visible to the telemetry sampler.
+//!
+//! On top of these, [`telemetry`] adds a *live* view of a running
+//! process: a background sampler thread appending `sample` events to
+//! the JSONL sink and a std-only HTTP status server exposing
+//! Prometheus-format `/metrics` (see [`promtext`]) and JSON `/status`.
+//! [`selfprofile`] turns the span stream into a per-span-name
+//! self/total-time tree embedded in the run report.
 //!
 //! Everything above is compiled to an inline no-op unless the crate
 //! feature `enabled` is on; with the feature on it is still inert (one
@@ -33,6 +46,9 @@
 
 pub mod calibrate;
 pub mod json;
+pub mod promtext;
+pub mod selfprofile;
+pub mod telemetry;
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
@@ -143,14 +159,34 @@ pub struct ObsConfig {
     pub enabled: bool,
     /// Stream JSONL events to this file.
     pub sink: Option<std::path::PathBuf>,
+    /// Start the background telemetry sampler with this wake interval
+    /// in milliseconds (`None` = no sampler). The sampler appends one
+    /// [`SAMPLE_SCHEMA`] `sample` event per tick to the JSONL sink, so
+    /// it only starts when a sink is configured too. 250 ms is the
+    /// conventional default ([`DEFAULT_SAMPLE_MS`]).
+    pub sample_ms: Option<u64>,
 }
 
-/// Schema identifier written into `RUN_REPORT.json`.
-pub const RUN_REPORT_SCHEMA: &str = "mlpa-run-report-v2";
+/// Conventional sampler interval for [`ObsConfig::sample_ms`].
+pub const DEFAULT_SAMPLE_MS: u64 = 250;
+
+/// Schema identifier written into `RUN_REPORT.json`. v3 adds the
+/// `gauges` and `self_profile` sections.
+pub const RUN_REPORT_SCHEMA: &str = "mlpa-run-report-v3";
 
 /// Schema identifier stamped on the `run_start` event of a JSONL
-/// stream. v1 streams predate the marker (no `schema` field).
-pub const EVENTS_SCHEMA: &str = "mlpa-events-v2";
+/// stream. v1 streams predate the marker (no `schema` field); v3 adds
+/// the telemetry `sample` event kind.
+pub const EVENTS_SCHEMA: &str = "mlpa-events-v3";
+
+/// Schema identifier stamped on every telemetry `sample` event. The
+/// payload carries a *monotonic tick index*, never wall-clock, in the
+/// fields downstream contracts check (`t_us` rides along for humans and
+/// trace viewers, like on every other event).
+pub const SAMPLE_SCHEMA: &str = "mlpa-sample-v1";
+
+/// Schema identifier of the status server's `GET /status` JSON body.
+pub const STATUS_SCHEMA: &str = "mlpa-status-v1";
 
 /// Number of log2 buckets in a histogram: bucket 0 holds the value 0,
 /// bucket `b` (1..=64) holds values whose bit length is `b`, i.e.
@@ -213,6 +249,41 @@ pub struct WorkerStat {
     pub busy_fraction: f64,
 }
 
+/// Mid-run aggregates for one worker pool, as returned by
+/// [`pool_live_snapshot`]. Unlike [`WorkerStat`] rows (which only exist
+/// once a guard drops), these are updated live as jobs complete, which
+/// is what the telemetry sampler reads for busy fractions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolLiveStat {
+    /// Pool label (e.g. `plan`, `suite`).
+    pub pool: String,
+    /// Worker guards currently open.
+    pub live: u64,
+    /// Cumulative nanoseconds spent inside `busy` closures, across all
+    /// guards of this pool, including dropped ones.
+    pub busy_ns: u64,
+    /// Cumulative jobs completed across all guards of this pool.
+    pub jobs: u64,
+}
+
+/// Raw log2 bucket counts for one histogram, as returned by
+/// [`hist_buckets_snapshot`] — the Prometheus `/metrics` endpoint needs
+/// cumulative per-bucket counts, not the p50/p90/p99 summary of
+/// [`HistogramStat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistBuckets {
+    /// Histogram name (span-duration histograms get a `span.` prefix).
+    pub name: String,
+    /// Unit tag: `"us"` for time-like values, `"n"` for counts.
+    pub unit: String,
+    /// Raw count per log2 bucket (not cumulative).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+}
+
 /// Snapshot of everything collected so far; serialized to
 /// `results/RUN_REPORT.json`.
 #[derive(Debug, Clone, Default)]
@@ -225,12 +296,18 @@ pub struct Report {
     pub workers: Vec<WorkerStat>,
     /// Counter totals, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Gauge last-written values, sorted by name. Gauge *names* are
+    /// deterministic for a fixed configuration; their values are
+    /// whatever was last written and are never regression-gated.
+    pub gauges: Vec<(String, u64)>,
     /// Histogram summaries, sorted by name (empty histograms omitted).
     pub histograms: Vec<HistogramStat>,
+    /// Span-aggregated self-profile (absent when collection was off).
+    pub self_profile: Option<selfprofile::SelfProfile>,
 }
 
 impl Report {
-    /// Serialize to the `mlpa-run-report-v2` JSON document.
+    /// Serialize to the `mlpa-run-report-v3` JSON document.
     pub fn to_json(&self) -> String {
         self.to_json_with(&[])
     }
@@ -281,6 +358,15 @@ impl Report {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"gauges\": [\n");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            let sep = if i + 1 < self.gauges.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {value}}}{sep}\n",
+                json::escape(name)
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"histograms\": [\n");
         for (i, h) in self.histograms.iter().enumerate() {
             let sep = if i + 1 < self.histograms.len() { "," } else { "" };
@@ -299,6 +385,10 @@ impl Report {
             ));
         }
         out.push_str("  ]");
+        if let Some(sp) = &self.self_profile {
+            out.push_str(",\n  \"self_profile\": ");
+            out.push_str(&sp.to_json(2));
+        }
         for (key, value) in extra {
             out.push_str(&format!(",\n  \"{}\": {value}", json::escape(key)));
         }
@@ -414,10 +504,15 @@ pub fn hist_bucket_max(b: usize) -> u64 {
 /// Quantile estimate over raw bucket counts: the upper bound of the
 /// first bucket where the cumulative count reaches `ceil(q * count)`,
 /// clamped to the observed `[min, max]`.
+///
+/// `q` outside `[0, 1]` (including NaN) is clamped into range, and an
+/// empty histogram always yields 0 — never a garbage bucket bound or
+/// the `u64::MAX`/`0` sentinels an untouched min/max pair holds.
 pub fn hist_quantile(buckets: &[u64; HIST_BUCKETS], count: u64, q: f64, min: u64, max: u64) -> u64 {
     if count == 0 {
         return 0;
     }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
     let target = ((q * count as f64).ceil() as u64).clamp(1, count);
     let mut cum = 0u64;
     for (b, &c) in buckets.iter().enumerate() {
@@ -453,9 +548,21 @@ mod imp {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(0);
     static SPAN_TOTALS: Mutex<BTreeMap<&'static str, (u64, u128)>> = Mutex::new(BTreeMap::new());
+    /// Per (span name, parent span name) aggregation feeding the
+    /// self-profile tree; the `None` parent is a root (thread-local
+    /// stack was empty when the span opened).
+    type SpanEdgeMap = BTreeMap<(&'static str, Option<&'static str>), (u64, u128)>;
+    static SPAN_EDGES: Mutex<SpanEdgeMap> = Mutex::new(BTreeMap::new());
     static COUNTERS: RwLock<BTreeMap<&'static str, &'static AtomicU64>> =
         RwLock::new(BTreeMap::new());
+    /// Last-write-wins gauges. Same leaked-`AtomicU64` discipline as
+    /// counters, but stores instead of adds.
+    static GAUGES: RwLock<BTreeMap<&'static str, &'static AtomicU64>> =
+        RwLock::new(BTreeMap::new());
     static WORKERS: Mutex<Vec<WorkerStat>> = Mutex::new(Vec::new());
+    /// Live per-pool worker aggregates for the telemetry sampler:
+    /// currently-open guards, cumulative busy nanoseconds, job count.
+    static POOLS: RwLock<BTreeMap<&'static str, &'static PoolLive>> = RwLock::new(BTreeMap::new());
     static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
     static HISTS: RwLock<BTreeMap<&'static str, &'static Hist>> = RwLock::new(BTreeMap::new());
     /// Span-duration histograms live in their own registry (reported
@@ -465,7 +572,10 @@ mod imp {
     static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
     thread_local! {
-        static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        /// Open spans on this thread: (id, name). Names ride along so a
+        /// closing span can attribute its duration to its parent *name*
+        /// for the self-profile without a global id lookup.
+        static SPAN_STACK: RefCell<Vec<(u64, &'static str)>> = const { RefCell::new(Vec::new()) };
         /// Stable per-thread id for sink events (trace-track mapping).
         static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     }
@@ -478,18 +588,26 @@ mod imp {
         *EPOCH.get_or_init(Instant::now)
     }
 
-    fn t_us() -> u128 {
+    pub(crate) fn t_us() -> u128 {
         epoch().elapsed().as_micros()
     }
 
     /// One JSON object per line; flushed per line so a crash (or a
-    /// concurrent reader) never sees a partial record.
-    fn emit(line: &str) {
+    /// concurrent reader) never sees a partial record. The whole line is
+    /// written under the sink mutex, which is what guarantees `sample`
+    /// events from the telemetry thread never tear lines emitted by
+    /// scoped workers.
+    pub(crate) fn emit(line: &str) {
         let mut sink = SINK.lock().expect("obs sink poisoned");
         if let Some(w) = sink.as_mut() {
             let _ = writeln!(w, "{line}");
             let _ = w.flush();
         }
+    }
+
+    /// Whether a JSONL sink is currently open.
+    pub(crate) fn sink_open() -> bool {
+        SINK.lock().expect("obs sink poisoned").is_some()
     }
 
     /// Install the runtime configuration: pin the epoch, open the JSONL
@@ -510,6 +628,11 @@ mod imp {
             "{{\"ev\":\"run_start\",\"schema\":\"{EVENTS_SCHEMA}\",\"t_us\":{}}}",
             t_us()
         ));
+        // Sample events go to the JSONL sink, so the sampler only runs
+        // when both an interval and a sink are configured.
+        if let (Some(ms), Some(_)) = (cfg.sample_ms, &cfg.sink) {
+            crate::telemetry::start_sampler(ms);
+        }
         Ok(())
     }
 
@@ -558,6 +681,81 @@ mod imp {
             .expect("obs counters poisoned")
             .iter()
             .map(|(name, c)| (name.to_string(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Store `value` into the named gauge (last write wins). Registers
+    /// the gauge on first use, like counters. Gauges move in both
+    /// directions; nothing downstream may ever gate their *values*.
+    pub fn gauge_set(name: &'static str, value: u64) {
+        if !is_enabled() {
+            return;
+        }
+        if let Some(g) = GAUGES.read().expect("obs gauges poisoned").get(name) {
+            g.store(value, Ordering::Relaxed);
+            return;
+        }
+        let mut map = GAUGES.write().expect("obs gauges poisoned");
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+            .store(value, Ordering::Relaxed);
+    }
+
+    /// Last value written to a named gauge (0 if never written).
+    pub fn gauge_value(name: &str) -> u64 {
+        GAUGES
+            .read()
+            .expect("obs gauges poisoned")
+            .get(name)
+            .map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+
+    /// All gauges and their last-written values, sorted by name.
+    pub fn gauges_snapshot() -> Vec<(String, u64)> {
+        GAUGES
+            .read()
+            .expect("obs gauges poisoned")
+            .iter()
+            .map(|(name, g)| (name.to_string(), g.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Live aggregates for one worker pool, updated as jobs run (not
+    /// just when guards drop) so the telemetry sampler can report
+    /// mid-run busy fractions.
+    pub(crate) struct PoolLive {
+        live: AtomicU64,
+        busy_ns: AtomicU64,
+        jobs: AtomicU64,
+    }
+
+    fn pool_live_of(pool: &'static str) -> &'static PoolLive {
+        if let Some(p) = POOLS.read().expect("obs pools poisoned").get(pool) {
+            return p;
+        }
+        let mut map = POOLS.write().expect("obs pools poisoned");
+        map.entry(pool).or_insert_with(|| {
+            Box::leak(Box::new(PoolLive {
+                live: AtomicU64::new(0),
+                busy_ns: AtomicU64::new(0),
+                jobs: AtomicU64::new(0),
+            }))
+        })
+    }
+
+    /// Mid-run snapshot of every worker pool that has ever opened a
+    /// guard, sorted by pool name.
+    pub fn pool_live_snapshot() -> Vec<super::PoolLiveStat> {
+        POOLS
+            .read()
+            .expect("obs pools poisoned")
+            .iter()
+            .map(|(pool, p)| super::PoolLiveStat {
+                pool: pool.to_string(),
+                live: p.live.load(Ordering::Relaxed),
+                busy_ns: p.busy_ns.load(Ordering::Relaxed),
+                jobs: p.jobs.load(Ordering::Relaxed),
+            })
             .collect()
     }
 
@@ -626,6 +824,24 @@ mod imp {
                 p50: hist_quantile(&buckets, count, 0.50, min, max),
                 p90: hist_quantile(&buckets, count, 0.90, min, max),
                 p99: hist_quantile(&buckets, count, 0.99, min, max),
+            })
+        }
+
+        fn raw(&self, name: String) -> Option<super::HistBuckets> {
+            let count = self.count.load(Ordering::Relaxed);
+            if count == 0 {
+                return None;
+            }
+            let mut buckets = [0u64; HIST_BUCKETS];
+            for (b, c) in buckets.iter_mut().enumerate() {
+                *c = self.buckets[b].load(Ordering::Relaxed);
+            }
+            Some(super::HistBuckets {
+                name,
+                unit: self.unit.to_string(),
+                buckets,
+                count,
+                sum: self.sum.load(Ordering::Relaxed),
             })
         }
     }
@@ -726,6 +942,44 @@ mod imp {
         out
     }
 
+    /// Raw bucket counts of all non-empty histograms, sorted by name
+    /// (the `/metrics` exposition needs per-bucket counts, not
+    /// quantile summaries).
+    pub fn hist_buckets_snapshot() -> Vec<super::HistBuckets> {
+        let mut out: Vec<super::HistBuckets> = Vec::new();
+        for (name, h) in HISTS.read().expect("obs hists poisoned").iter() {
+            if let Some(s) = h.raw(name.to_string()) {
+                out.push(s);
+            }
+        }
+        for (name, h) in SPAN_HISTS.read().expect("obs hists poisoned").iter() {
+            if let Some(s) = h.raw(format!("span.{name}")) {
+                out.push(s);
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// The self-profile call-tree edges observed so far: one row per
+    /// (span name, parent span name) pair with its call count and total
+    /// wall seconds. Roots (spans opened with an empty per-thread span
+    /// stack — including every span opened on a scoped worker thread)
+    /// have `parent == None`.
+    pub fn span_edges_snapshot() -> Vec<crate::selfprofile::RawEdge> {
+        SPAN_EDGES
+            .lock()
+            .expect("obs span edges poisoned")
+            .iter()
+            .map(|((name, parent), (calls, ns))| crate::selfprofile::RawEdge {
+                name: name.to_string(),
+                parent: parent.map(|p| p.to_string()),
+                calls: *calls,
+                total_s: *ns as f64 / 1e9,
+            })
+            .collect()
+    }
+
     /// RAII timing guard returned by [`span`] / [`span_labeled`].
     #[must_use]
     pub struct Span {
@@ -737,6 +991,7 @@ mod imp {
         label: Option<String>,
         id: u64,
         parent: Option<u64>,
+        parent_name: Option<&'static str>,
         start: u128,
         begin: Instant,
     }
@@ -754,13 +1009,19 @@ mod imp {
             let dur = inner.begin.elapsed();
             SPAN_STACK.with(|s| {
                 let mut stack = s.borrow_mut();
-                if stack.last() == Some(&inner.id) {
+                if stack.last().map(|&(id, _)| id) == Some(inner.id) {
                     stack.pop();
                 }
             });
             {
                 let mut totals = SPAN_TOTALS.lock().expect("obs spans poisoned");
                 let entry = totals.entry(inner.name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += dur.as_nanos();
+            }
+            {
+                let mut edges = SPAN_EDGES.lock().expect("obs span edges poisoned");
+                let entry = edges.entry((inner.name, inner.parent_name)).or_insert((0, 0));
                 entry.0 += 1;
                 entry.1 += dur.as_nanos();
             }
@@ -790,11 +1051,12 @@ mod imp {
             return Span { inner: None };
         }
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed) + 1;
-        let parent = SPAN_STACK.with(|s| {
+        let (parent, parent_name) = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            let parent = stack.last().copied();
-            stack.push(id);
-            parent
+            let parent = stack.last().map(|&(id, _)| id);
+            let parent_name = stack.last().map(|&(_, name)| name);
+            stack.push((id, name));
+            (parent, parent_name)
         });
         Span {
             inner: Some(SpanInner {
@@ -802,6 +1064,7 @@ mod imp {
                 label,
                 id,
                 parent,
+                parent_name,
                 start: t_us(),
                 begin: Instant::now(),
             }),
@@ -834,6 +1097,7 @@ mod imp {
         created: Instant,
         busy_ns: u128,
         jobs: u64,
+        live: &'static PoolLive,
     }
 
     impl Worker {
@@ -844,8 +1108,11 @@ mod imp {
                 Some(w) => {
                     let begin = Instant::now();
                     let r = f();
-                    w.busy_ns += begin.elapsed().as_nanos();
+                    let ns = begin.elapsed().as_nanos();
+                    w.busy_ns += ns;
                     w.jobs += 1;
+                    w.live.busy_ns.fetch_add(ns as u64, Ordering::Relaxed);
+                    w.live.jobs.fetch_add(1, Ordering::Relaxed);
                     r
                 }
             }
@@ -855,6 +1122,7 @@ mod imp {
     impl Drop for Worker {
         fn drop(&mut self) {
             let Some(w) = self.inner.take() else { return };
+            w.live.live.fetch_sub(1, Ordering::Relaxed);
             let wall = w.created.elapsed();
             let wall_s = wall.as_secs_f64();
             let busy_s = w.busy_ns as f64 / 1e9;
@@ -886,8 +1154,17 @@ mod imp {
         if !is_enabled() {
             return Worker { inner: None };
         }
+        let live = pool_live_of(pool);
+        live.live.fetch_add(1, Ordering::Relaxed);
         Worker {
-            inner: Some(WorkerInner { pool, index, created: Instant::now(), busy_ns: 0, jobs: 0 }),
+            inner: Some(WorkerInner {
+                pool,
+                index,
+                created: Instant::now(),
+                busy_ns: 0,
+                jobs: 0,
+                live,
+            }),
         }
     }
 
@@ -935,7 +1212,7 @@ mod imp {
 
     /// Aggregate everything collected so far into a [`Report`].
     pub fn report() -> Report {
-        let phases = SPAN_TOTALS
+        let phases: Vec<PhaseStat> = SPAN_TOTALS
             .lock()
             .expect("obs spans poisoned")
             .iter()
@@ -945,18 +1222,30 @@ mod imp {
                 total_s: *ns as f64 / 1e9,
             })
             .collect();
+        let workers = WORKERS.lock().expect("obs workers poisoned").clone();
+        let histograms = histograms_snapshot();
+        let edges = span_edges_snapshot();
+        let self_profile = if phases.is_empty() {
+            None
+        } else {
+            Some(crate::selfprofile::build(&phases, &histograms, &workers, &edges))
+        };
         Report {
             wall_s: epoch().elapsed().as_secs_f64(),
             phases,
-            workers: WORKERS.lock().expect("obs workers poisoned").clone(),
+            workers,
             counters: counters_snapshot(),
-            histograms: histograms_snapshot(),
+            gauges: gauges_snapshot(),
+            histograms,
+            self_profile,
         }
     }
 
-    /// Emit one `hist` summary event per non-empty histogram, then the
-    /// final `run_end` event, and flush the sink.
+    /// Stop the telemetry sampler (which emits one final `sample`
+    /// event), then emit one `hist` summary event per non-empty
+    /// histogram, the final `run_end` event, and flush the sink.
     pub fn finish() {
+        crate::telemetry::stop_sampler();
         for h in histograms_snapshot() {
             emit(&format!(
                 "{{\"ev\":\"hist\",\"t_us\":{},\"name\":\"{}\",\"unit\":\"{}\",\"count\":{},\
@@ -984,10 +1273,20 @@ mod imp {
     /// contract, and racy against concurrent instrumented threads.
     #[doc(hidden)]
     pub fn reset_for_tests() {
+        crate::telemetry::reset_for_tests();
         ENABLED.store(false, Ordering::Release);
         SPAN_TOTALS.lock().expect("obs spans poisoned").clear();
+        SPAN_EDGES.lock().expect("obs span edges poisoned").clear();
         for (_, c) in COUNTERS.read().expect("obs counters poisoned").iter() {
             c.store(0, Ordering::Relaxed);
+        }
+        for (_, g) in GAUGES.read().expect("obs gauges poisoned").iter() {
+            g.store(0, Ordering::Relaxed);
+        }
+        for (_, p) in POOLS.read().expect("obs pools poisoned").iter() {
+            p.live.store(0, Ordering::Relaxed);
+            p.busy_ns.store(0, Ordering::Relaxed);
+            p.jobs.store(0, Ordering::Relaxed);
         }
         WORKERS.lock().expect("obs workers poisoned").clear();
         for registry in [&HISTS, &SPAN_HISTS] {
@@ -1044,6 +1343,40 @@ mod imp {
     /// Always empty: the `enabled` feature is compiled out.
     #[inline(always)]
     pub fn counters_snapshot() -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn gauge_set(_name: &'static str, _value: u64) {}
+
+    /// Always 0: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn gauge_value(_name: &str) -> u64 {
+        0
+    }
+
+    /// Always empty: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn gauges_snapshot() -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Always empty: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn pool_live_snapshot() -> Vec<super::PoolLiveStat> {
+        Vec::new()
+    }
+
+    /// Always empty: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn hist_buckets_snapshot() -> Vec<super::HistBuckets> {
+        Vec::new()
+    }
+
+    /// Always empty: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn span_edges_snapshot() -> Vec<crate::selfprofile::RawEdge> {
         Vec::new()
     }
 
@@ -1157,7 +1490,65 @@ mod imp {
 }
 
 pub use imp::{
-    add, counter_value, counters_snapshot, emit_counters_snapshot, finish, hist_merge, hist_record,
-    histograms_snapshot, init, is_enabled, report, reset_for_tests, set_enabled, span,
-    span_labeled, worker, HistTally, Span, Worker,
+    add, counter_value, counters_snapshot, emit_counters_snapshot, finish, gauge_set, gauge_value,
+    gauges_snapshot, hist_buckets_snapshot, hist_merge, hist_record, histograms_snapshot, init,
+    is_enabled, pool_live_snapshot, report, reset_for_tests, set_enabled, span,
+    span_edges_snapshot, span_labeled, worker, HistTally, Span, Worker,
 };
+
+#[cfg(test)]
+mod quantile_tests {
+    use super::{hist_bucket, hist_quantile, HIST_BUCKETS};
+
+    fn tally(values: &[u64]) -> ([u64; HIST_BUCKETS], u64, u64, u64) {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let (mut min, mut max) = (u64::MAX, 0u64);
+        for &v in values {
+            buckets[hist_bucket(v)] += 1;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        (buckets, values.len() as u64, min, max)
+    }
+
+    #[test]
+    fn empty_histogram_yields_zero_for_every_q() {
+        let buckets = [0u64; HIST_BUCKETS];
+        // An untouched tally carries the min=MAX/max=0 sentinels; the
+        // quantile must not leak them.
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(hist_quantile(&buckets, 0, q, u64::MAX, 0), 0);
+        }
+    }
+
+    #[test]
+    fn q_is_clamped_into_unit_interval() {
+        let (buckets, count, min, max) = tally(&[3, 100, 9000]);
+        let lo = hist_quantile(&buckets, count, 0.0, min, max);
+        let hi = hist_quantile(&buckets, count, 1.0, min, max);
+        assert_eq!(hist_quantile(&buckets, count, -3.5, min, max), lo);
+        assert_eq!(hist_quantile(&buckets, count, 7.0, min, max), hi);
+        assert_eq!(hist_quantile(&buckets, count, f64::NAN, min, max), lo);
+    }
+
+    #[test]
+    fn q0_and_q1_hit_the_observed_extremes() {
+        let (buckets, count, min, max) = tally(&[5, 6, 7, 1000]);
+        // q=0 resolves to the first non-empty bucket, clamped to min.
+        assert_eq!(hist_quantile(&buckets, count, 0.0, min, max), 7);
+        // q=1 resolves to the last non-empty bucket, clamped to max.
+        assert_eq!(hist_quantile(&buckets, count, 1.0, min, max), 1000);
+    }
+
+    #[test]
+    fn single_bucket_tally_is_exact() {
+        // All values share one bucket, so every quantile clamps to the
+        // observed [min, max] and is exact at the extremes.
+        let (buckets, count, min, max) = tally(&[40, 40, 40]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(hist_quantile(&buckets, count, q, min, max), 40);
+        }
+        let (buckets, count, min, max) = tally(&[33]);
+        assert_eq!(hist_quantile(&buckets, count, 0.5, min, max), 33);
+    }
+}

@@ -1,0 +1,394 @@
+//! Live telemetry: a background sampler thread and a std-only HTTP
+//! status server.
+//!
+//! The **sampler** is started by [`crate::init`] when [`crate::ObsConfig`]
+//! carries both a JSONL sink and a `sample_ms` interval. Each tick it
+//! snapshots every counter, gauge, and live worker pool plus the
+//! process peak RSS, and appends one `sample` event (schema
+//! [`crate::SAMPLE_SCHEMA`]) to the sink. Ticks are a monotonic index —
+//! downstream contracts check tick order and counter monotonicity,
+//! never wall-clock. [`crate::finish`] stops the thread and always
+//! emits one final sample, so even a run shorter than the interval
+//! produces a complete time-series.
+//!
+//! The **status server** ([`serve_status`]) binds a `TcpListener` and
+//! answers hand-rolled HTTP/1.1 on two paths: `GET /metrics` with the
+//! Prometheus text exposition of the current registries (see
+//! [`crate::promtext`]) and `GET /status` with a small JSON summary
+//! (schema [`crate::STATUS_SCHEMA`]: run phase, benchmark progress,
+//! current segment, uptime ticks, RSS). Port 0 requests an ephemeral
+//! port; the bound address is returned so callers can print it.
+//!
+//! Without the `enabled` feature everything here is a no-op
+//! ([`serve_status`] reports `Unsupported`), matching the rest of the
+//! crate.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Minimal HTTP/1.1 GET client for tests and smoke scripts: returns
+/// `(status code, body)`. Always compiled (it touches no obs state).
+///
+/// # Errors
+///
+/// Propagates connect/read errors; malformed responses surface as
+/// `InvalidData`.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+/// Parse an HTTP/1.1 request line into `(method, path)`.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+fn parse_request_line(line: &str) -> Option<(&str, &str)> {
+    let mut parts = line.split(' ');
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    Some((method, path))
+}
+
+#[cfg(feature = "enabled")]
+mod live {
+    use super::parse_request_line;
+    use crate::json;
+    use std::io::{self, BufRead, BufReader, Write};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::thread::JoinHandle;
+    use std::time::{Duration, Instant};
+
+    static TICK: AtomicU64 = AtomicU64::new(0);
+    static RUN_PHASE: Mutex<String> = Mutex::new(String::new());
+    static SAMPLER: Mutex<Option<Sampler>> = Mutex::new(None);
+    static SERVER: Mutex<Option<Server>> = Mutex::new(None);
+    /// Cumulative per-pool busy nanoseconds at the previous tick, plus
+    /// its instant, for busy-fraction deltas. Only the sampler thread
+    /// and `reset_for_tests` touch this.
+    static PREV_BUSY: Mutex<Option<(Instant, std::collections::BTreeMap<String, u64>)>> =
+        Mutex::new(None);
+
+    struct Sampler {
+        stop: Arc<(Mutex<bool>, Condvar)>,
+        handle: JoinHandle<()>,
+    }
+
+    struct Server {
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        handle: JoinHandle<()>,
+    }
+
+    /// Set the coarse run phase shown by `GET /status` (e.g.
+    /// `warmup`, `benchmarks`, `report`).
+    pub fn set_run_phase(phase: &str) {
+        *RUN_PHASE.lock().expect("obs run phase poisoned") = phase.to_string();
+    }
+
+    /// The current coarse run phase (empty until first set).
+    pub fn run_phase() -> String {
+        RUN_PHASE.lock().expect("obs run phase poisoned").clone()
+    }
+
+    /// Number of sampler ticks emitted so far (0 when the sampler never
+    /// ran).
+    pub fn uptime_ticks() -> u64 {
+        TICK.load(Ordering::Relaxed)
+    }
+
+    /// Emit one `sample` event to the JSONL sink. Runs on the sampler
+    /// thread; the per-line sink mutex in `imp::emit` is what keeps
+    /// samples from tearing lines written by instrumented threads.
+    fn emit_sample() {
+        if !crate::imp::sink_open() {
+            return;
+        }
+        let tick = TICK.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let pools = crate::pool_live_snapshot();
+        let mut prev = PREV_BUSY.lock().expect("obs prev busy poisoned");
+        let (wall_ns, prev_map) = match prev.as_ref() {
+            Some((at, map)) => (now.duration_since(*at).as_nanos() as u64, map.clone()),
+            None => (0, std::collections::BTreeMap::new()),
+        };
+        *prev = Some((now, pools.iter().map(|p| (p.pool.clone(), p.busy_ns)).collect()));
+        drop(prev);
+
+        let counters = crate::counters_snapshot()
+            .iter()
+            .map(|(name, v)| format!("\"{}\":{v}", json::escape(name)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let gauges = crate::gauges_snapshot()
+            .iter()
+            .map(|(name, v)| format!("\"{}\":{v}", json::escape(name)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let pools = pools
+            .iter()
+            .map(|p| {
+                let prev_busy = prev_map.get(&p.pool).copied().unwrap_or(0);
+                let delta_busy = p.busy_ns.saturating_sub(prev_busy);
+                // Worker-seconds of busy time per wall second since the
+                // last tick; can exceed 1.0 with multiple workers.
+                let busy_frac = if wall_ns > 0 { delta_busy as f64 / wall_ns as f64 } else { 0.0 };
+                format!(
+                    "{{\"pool\":\"{}\",\"live\":{},\"jobs\":{},\"busy_ms\":{},\
+                     \"busy_frac\":{busy_frac:.4}}}",
+                    json::escape(&p.pool),
+                    p.live,
+                    p.jobs,
+                    p.busy_ns / 1_000_000,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let rss = crate::peak_rss_bytes().unwrap_or(0);
+        crate::imp::emit(&format!(
+            "{{\"ev\":\"sample\",\"schema\":\"{}\",\"tick\":{tick},\"t_us\":{},\
+             \"rss_bytes\":{rss},\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\
+             \"pools\":[{pools}]}}",
+            crate::SAMPLE_SCHEMA,
+            crate::imp::t_us(),
+        ));
+    }
+
+    /// Start the background sampler (idempotent). Called by
+    /// [`crate::init`]; emits one sample immediately, then one per
+    /// interval, then one final sample when stopped.
+    pub(crate) fn start_sampler(interval_ms: u64) {
+        let mut guard = SAMPLER.lock().expect("obs sampler poisoned");
+        if guard.is_some() {
+            return;
+        }
+        TICK.store(0, Ordering::Relaxed);
+        *PREV_BUSY.lock().expect("obs prev busy poisoned") = None;
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let interval = Duration::from_millis(interval_ms.max(1));
+        let handle = std::thread::Builder::new()
+            .name("obs-sampler".into())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                loop {
+                    let stopping = *lock.lock().expect("obs sampler stop poisoned");
+                    emit_sample();
+                    if stopping {
+                        return;
+                    }
+                    let guard = lock.lock().expect("obs sampler stop poisoned");
+                    if *guard {
+                        // Stop raced in while we were emitting: loop
+                        // once more for the final sample.
+                        continue;
+                    }
+                    let _unused =
+                        cv.wait_timeout(guard, interval).expect("obs sampler stop poisoned");
+                }
+            })
+            .expect("spawn obs-sampler thread");
+        *guard = Some(Sampler { stop, handle });
+    }
+
+    /// Stop the sampler and wait for its final sample (idempotent, and
+    /// a no-op when no sampler is running). Called by [`crate::finish`].
+    pub(crate) fn stop_sampler() {
+        let sampler = SAMPLER.lock().expect("obs sampler poisoned").take();
+        if let Some(s) = sampler {
+            *s.stop.0.lock().expect("obs sampler stop poisoned") = true;
+            s.stop.1.notify_all();
+            let _ = s.handle.join();
+        }
+    }
+
+    /// The `GET /status` body: run phase, benchmark progress, current
+    /// segment, uptime ticks, RSS — plus the full gauge map, since the
+    /// named fields are just conventional gauges.
+    fn status_json() -> String {
+        let gauges = crate::gauges_snapshot();
+        let gauge = |name: &str| gauges.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v);
+        let body = gauges
+            .iter()
+            .map(|(name, v)| format!("\"{}\":{v}", json::escape(name)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"schema\":\"{}\",\"phase\":\"{}\",\"benchmarks_done\":{},\
+             \"benchmarks_total\":{},\"segment\":{},\"uptime_ticks\":{},\
+             \"rss_bytes\":{},\"gauges\":{{{body}}}}}",
+            crate::STATUS_SCHEMA,
+            json::escape(&run_phase()),
+            gauge("bench.done"),
+            gauge("bench.total"),
+            gauge("core.shard.segment"),
+            uptime_ticks(),
+            crate::peak_rss_bytes().unwrap_or(0),
+        )
+    }
+
+    fn respond(stream: &mut TcpStream, status: &str, ctype: &str, body: &str) -> io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        stream.flush()
+    }
+
+    fn handle_conn(stream: &mut TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        // Drain headers so well-behaved clients see a clean close.
+        let mut header = String::new();
+        while reader.read_line(&mut header)? > 2 {
+            header.clear();
+        }
+        let Some((method, path)) = parse_request_line(request_line.trim_end()) else {
+            return respond(stream, "400 Bad Request", "text/plain", "bad request\n");
+        };
+        if method != "GET" {
+            return respond(stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+        }
+        match path {
+            "/metrics" => respond(
+                stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &crate::promtext::render_current(),
+            ),
+            "/status" => respond(stream, "200 OK", "application/json", &status_json()),
+            _ => respond(stream, "404 Not Found", "text/plain", "unknown path\n"),
+        }
+    }
+
+    /// Bind the status server on `127.0.0.1:port` (0 = ephemeral) and
+    /// serve `/metrics` and `/status` from a background thread until
+    /// [`stop_status_server`]. Idempotent: a second call returns the
+    /// already-bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve_status(port: u16) -> io::Result<SocketAddr> {
+        let mut guard = SERVER.lock().expect("obs server poisoned");
+        if let Some(s) = guard.as_ref() {
+            return Ok(s.addr);
+        }
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-status".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(mut stream) = conn {
+                        let _ = handle_conn(&mut stream);
+                    }
+                }
+            })
+            .expect("spawn obs-status thread");
+        *guard = Some(Server { addr, stop, handle });
+        Ok(addr)
+    }
+
+    /// Stop the status server and join its thread (no-op when not
+    /// running).
+    pub fn stop_status_server() {
+        let server = SERVER.lock().expect("obs server poisoned").take();
+        if let Some(s) = server {
+            s.stop.store(true, Ordering::Relaxed);
+            // Self-connect to wake the blocking accept loop.
+            let _ = TcpStream::connect(s.addr);
+            let _ = s.handle.join();
+        }
+    }
+
+    /// Reset telemetry state between tests: stop threads, zero the
+    /// tick, clear the phase.
+    #[doc(hidden)]
+    pub(crate) fn reset_for_tests() {
+        stop_sampler();
+        stop_status_server();
+        TICK.store(0, Ordering::Relaxed);
+        *PREV_BUSY.lock().expect("obs prev busy poisoned") = None;
+        RUN_PHASE.lock().expect("obs run phase poisoned").clear();
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod live {
+    use std::io;
+    use std::net::SocketAddr;
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn set_run_phase(_phase: &str) {}
+
+    /// Always empty: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn run_phase() -> String {
+        String::new()
+    }
+
+    /// Always 0: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn uptime_ticks() -> u64 {
+        0
+    }
+
+    /// Always `Unsupported`: the `enabled` feature is compiled out.
+    pub fn serve_status(_port: u16) -> io::Result<SocketAddr> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "status server requires the mlpa-obs `enabled` feature",
+        ))
+    }
+
+    /// No-op: the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn stop_status_server() {}
+}
+
+pub use live::{run_phase, serve_status, set_run_phase, stop_status_server, uptime_ticks};
+
+#[cfg(feature = "enabled")]
+pub(crate) use live::{reset_for_tests, start_sampler, stop_sampler};
+
+#[cfg(test)]
+mod tests {
+    use super::parse_request_line;
+
+    #[test]
+    fn request_line_parses() {
+        assert_eq!(parse_request_line("GET /metrics HTTP/1.1"), Some(("GET", "/metrics")));
+        assert_eq!(parse_request_line("POST /x HTTP/1.0"), Some(("POST", "/x")));
+        assert_eq!(parse_request_line("GET /metrics"), None);
+        assert_eq!(parse_request_line("GET /a b HTTP/1.1"), None);
+        assert_eq!(parse_request_line("GET /metrics SPDY/3"), None);
+    }
+}

@@ -36,7 +36,12 @@ fn parse_lines(path: &PathBuf) -> Vec<Value> {
 fn spans_nest_across_thread_scope_workers() {
     let _g = lock();
     let sink = scratch("nesting.jsonl");
-    mlpa_obs::init(&mlpa_obs::ObsConfig { enabled: true, sink: Some(sink.clone()) }).expect("init");
+    mlpa_obs::init(&mlpa_obs::ObsConfig {
+        enabled: true,
+        sink: Some(sink.clone()),
+        sample_ms: None,
+    })
+    .expect("init");
 
     const WORKERS: usize = 4;
     std::thread::scope(|scope| {
@@ -130,7 +135,12 @@ fn counters_are_atomic_under_contention() {
 fn sink_is_line_buffered_one_object_per_line() {
     let _g = lock();
     let sink = scratch("lines.jsonl");
-    mlpa_obs::init(&mlpa_obs::ObsConfig { enabled: true, sink: Some(sink.clone()) }).expect("init");
+    mlpa_obs::init(&mlpa_obs::ObsConfig {
+        enabled: true,
+        sink: Some(sink.clone()),
+        sample_ms: None,
+    })
+    .expect("init");
 
     // Interleave event kinds from several threads; every line must
     // still be one complete JSON object (writes are mutex-serialised
@@ -265,7 +275,12 @@ fn histograms_merge_exactly_under_contention() {
 fn span_histograms_and_hist_events() {
     let _g = lock();
     let sink = scratch("hist.jsonl");
-    mlpa_obs::init(&mlpa_obs::ObsConfig { enabled: true, sink: Some(sink.clone()) }).expect("init");
+    mlpa_obs::init(&mlpa_obs::ObsConfig {
+        enabled: true,
+        sink: Some(sink.clone()),
+        sample_ms: None,
+    })
+    .expect("init");
 
     for _ in 0..5 {
         let _s = mlpa_obs::span("test.hist_span");

@@ -340,6 +340,17 @@ impl<'p> DetailedSim<'p> {
             mlpa_obs::hist_merge("sim.lsq.occupancy", "n", &tally.lsq);
             mlpa_obs::hist_merge("sim.l1d.miss_run", "n", &tally.l1d_runs);
             mlpa_obs::hist_merge("sim.l2.miss_run", "n", &tally.l2_runs);
+            // Live gauges for the telemetry sampler: the most recent
+            // occupancy samples and this region's L1D hit rate (in
+            // basis points, since gauges are integers). Regions too
+            // short to sample occupancy leave the gauges untouched.
+            if tally.samples > 0 {
+                mlpa_obs::gauge_set("sim.rob.occupancy", tally.rob_last);
+                mlpa_obs::gauge_set("sim.lsq.occupancy", tally.lsq_last);
+            }
+            if let Some(rate_bp) = (m.l1d_hits * 10_000).checked_div(m.l1d_hits + m.l1d_misses) {
+                mlpa_obs::gauge_set("sim.l1d.hit_rate_bp", rate_bp);
+            }
         }
         m
     }
@@ -492,6 +503,8 @@ impl<'p> DetailedSim<'p> {
                 let lsq = Self::in_flight(lsq_ring, lsq_mask, lsq_cap, mems_seen, dispatch);
                 tally.rob_occupancy += rob;
                 tally.lsq_occupancy += lsq;
+                tally.rob_last = rob;
+                tally.lsq_last = lsq;
                 tally.rob.record(rob);
                 tally.lsq.record(lsq);
                 if tally.samples == 1 {
@@ -527,6 +540,9 @@ struct ObsTally {
     samples: u64,
     rob_occupancy: u64,
     lsq_occupancy: u64,
+    /// Most recent occupancy samples, flushed to the live gauges.
+    rob_last: u64,
+    lsq_last: u64,
     rob: mlpa_obs::HistTally,
     lsq: mlpa_obs::HistTally,
     /// Length of the in-progress consecutive L1D-miss run.
