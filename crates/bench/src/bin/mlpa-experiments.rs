@@ -265,14 +265,22 @@ fn main() {
         }
     }
     if let Some(port) = o.status_port {
-        match mlpa_obs::telemetry::serve_status(port) {
-            // elog! so the bound address survives --quiet: CI parses
-            // this line to find the ephemeral port.
-            Ok(addr) => elog!("obs", "status server listening on {addr}"),
-            Err(e) => {
-                elog!("error", "--status-port {port}: {e}");
-                std::process::exit(2);
+        // Degrade gracefully on a non-obs build, matching the warning
+        // above: a server with nothing behind it would only serve
+        // empty documents, so don't start one (serve_status would
+        // return Unsupported anyway).
+        if mlpa_obs::is_enabled() {
+            match mlpa_obs::telemetry::serve_status(port) {
+                // elog! so the bound address survives --quiet: CI parses
+                // this line to find the ephemeral port.
+                Ok(addr) => elog!("obs", "status server listening on {addr}"),
+                Err(e) => {
+                    elog!("error", "--status-port {port}: {e}");
+                    std::process::exit(2);
+                }
             }
+        } else {
+            elog!("obs", "--status-port {port} ignored: rebuild with `--features obs`");
         }
     }
     let outcome = run(&o);

@@ -238,13 +238,12 @@ fn execute_points_parallel(
 ) -> Vec<PointRun> {
     let points = plan.points();
     let next = AtomicUsize::new(0);
-    let inflight = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<PointRun, String>)>();
 
     std::thread::scope(|s| {
         for w in 0..workers {
             let tx = tx.clone();
-            let (next, inflight) = (&next, &inflight);
+            let next = &next;
             s.spawn(move || {
                 let mut guard = mlpa_obs::worker("plan", w);
                 // Claim points dynamically: early points have short
@@ -255,10 +254,11 @@ fn execute_points_parallel(
                     let Some(p) = points.get(i) else { break };
                     let span = mlpa_obs::span_labeled("core.plan.point", &format!("point {i}"));
                     let span_id = span.id();
-                    mlpa_obs::gauge_set(
-                        "core.plan.inflight",
-                        inflight.fetch_add(1, Ordering::Relaxed) as u64 + 1,
-                    );
+                    // Single atomic op on the gauge itself: a separate
+                    // counter plus gauge_set can interleave so a stale
+                    // larger value is stored last and the level sticks
+                    // nonzero after the parallel section drains.
+                    mlpa_obs::gauge_add("core.plan.inflight", 1);
                     // A panicking job must not be swallowed into the
                     // joined results: capture the payload and report it
                     // with the job's identity attached.
@@ -267,10 +267,7 @@ fn execute_points_parallel(
                             simulate_point_standalone(cb, config, p.start, p.len, mode)
                         }))
                     });
-                    mlpa_obs::gauge_set(
-                        "core.plan.inflight",
-                        inflight.fetch_sub(1, Ordering::Relaxed) as u64 - 1,
-                    );
+                    mlpa_obs::gauge_add("core.plan.inflight", -1);
                     drop(span);
                     let run = run.map_err(|payload| {
                         // `&*payload`, not `&payload`: a `Box<dyn Any>`
