@@ -44,6 +44,7 @@ pub mod files;
 pub mod multilevel;
 pub mod pipeline;
 pub mod plan;
+pub mod serve;
 pub mod stats;
 pub mod systematic;
 pub mod timing;
@@ -53,7 +54,7 @@ pub use attribution::{
     attribute, attribute_segments, render_attribution_json, render_report, AccuracyAttribution,
     PhaseAttribution,
 };
-pub use cache::{atomic_write, ArtifactCache, CacheKey, CACHE_SCHEMA};
+pub use cache::{atomic_write, ArtifactCache, CacheKey, FlightRole, Singleflight, CACHE_SCHEMA};
 pub use coasts::{coasts, coasts_with, CoastsConfig, CoastsOutcome};
 pub use estimate::{
     effective_jobs, execute_plan, execute_plan_cached, execute_plan_checked, execute_plan_jobs,
@@ -67,6 +68,29 @@ pub use pipeline::{
 };
 pub use plan::{PlanPoint, SimulationPlan};
 pub use timing::CostModel;
+
+#[cfg(test)]
+pub(crate) mod testobs {
+    //! Shared scaffolding for tests that assert on obs counters.
+    //!
+    //! Counters are process-global and no-ops until `mlpa_obs::init`
+    //! runs, while the test harness runs tests in parallel: the first
+    //! lock acquisition initialises obs, and the lock itself keeps any
+    //! counter-bumping test (cache use, serve daemons) out of another
+    //! test's delta-measurement window.
+    use std::sync::{Mutex, MutexGuard, Once, PoisonError};
+
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+    static INIT: Once = Once::new();
+
+    pub(crate) fn counter_lock() -> MutexGuard<'static, ()> {
+        INIT.call_once(|| {
+            mlpa_obs::init(&mlpa_obs::ObsConfig { enabled: true, sink: None, sample_ms: None })
+                .expect("obs init for counter tests");
+        });
+        COUNTER_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 /// Convenience re-exports for the common workflow.
 pub mod prelude {

@@ -22,7 +22,11 @@
 //!   per level, instructions simulated);
 //! * a `/metrics` scrape parses under the strict Prometheus text
 //!   checker (`--metrics`), with counters monotone non-decreasing
-//!   against an earlier scrape of the same run (`--metrics-prev`);
+//!   against an earlier scrape of the same run (`--metrics-prev`), and
+//!   any `--metrics-counter-min NAME MIN` thresholds met (NAME is the
+//!   dotted counter name, e.g. `serve.inflight_dedup` — the CI
+//!   serve-smoke job uses this to prove concurrent identical requests
+//!   actually deduplicated);
 //! * a `/status` body matches the `mlpa-status-v1` schema (`--status`).
 //!
 //! Usage: `obs-check --events <events.jsonl> --report <RUN_REPORT.json>`
@@ -73,6 +77,7 @@ fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut metrics_prev: Option<String> = None;
     let mut status: Option<String> = None;
+    let mut counter_min: Vec<(String, f64)> = Vec::new();
     let mut checks = ReportChecks::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -96,6 +101,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metrics-counter-min" => {
+                let name = args.next();
+                let min = args.next().and_then(|s| s.parse::<f64>().ok());
+                match (name, min) {
+                    (Some(name), Some(min)) if min >= 0.0 => counter_min.push((name, min)),
+                    _ => {
+                        eprintln!(
+                            "obs-check: --metrics-counter-min needs a counter name \
+                             and a non-negative threshold"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--min-cache-hit-rate" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
                 Some(r) if (0.0..=1.0).contains(&r) => checks.min_cache_hit_rate = Some(r),
                 _ => {
@@ -107,7 +126,8 @@ fn main() -> ExitCode {
                 eprintln!("obs-check: unknown argument `{other}`");
                 eprintln!(
                     "usage: obs-check [--events <file.jsonl>] [--report <RUN_REPORT.json>] \
-                     [--metrics <scrape.txt> [--metrics-prev <scrape.txt>]] \
+                     [--metrics <scrape.txt> [--metrics-prev <scrape.txt>] \
+                     [--metrics-counter-min <counter> <min>]...] \
                      [--status <status.json>] [--require-zero <counter>]... \
                      [--require-nonzero <counter>]... [--min-cache-hit-rate <0..1>]"
                 );
@@ -119,8 +139,8 @@ fn main() -> ExitCode {
         eprintln!("obs-check: nothing to do (pass --events, --report, --metrics, or --status)");
         return ExitCode::FAILURE;
     }
-    if metrics_prev.is_some() && metrics.is_none() {
-        eprintln!("obs-check: --metrics-prev needs --metrics to compare against");
+    if (metrics_prev.is_some() || !counter_min.is_empty()) && metrics.is_none() {
+        eprintln!("obs-check: --metrics-prev / --metrics-counter-min need --metrics");
         return ExitCode::FAILURE;
     }
 
@@ -158,7 +178,7 @@ fn main() -> ExitCode {
         };
         match std::fs::read_to_string(&path)
             .map_err(|e| e.to_string())
-            .and_then(|s| check_metrics(&s, prev.as_deref()))
+            .and_then(|s| check_metrics(&s, prev.as_deref(), &counter_min))
         {
             Ok(n) => println!("obs-check: {path}: {n} metric samples OK"),
             Err(e) => {
@@ -578,9 +598,15 @@ fn check_report(text: &str, checks: &ReportChecks) -> Result<(), String> {
 
 /// Validate a `/metrics` scrape under the strict Prometheus text
 /// checker; with an earlier scrape of the same run, additionally
-/// require every counter series to be monotone non-decreasing.
-/// Returns the number of samples in the current scrape.
-fn check_metrics(current: &str, prev: Option<&str>) -> Result<usize, String> {
+/// require every counter series to be monotone non-decreasing; with
+/// `counter_min` thresholds (dotted counter names), require each named
+/// counter to reach its minimum. Returns the number of samples in the
+/// current scrape.
+fn check_metrics(
+    current: &str,
+    prev: Option<&str>,
+    counter_min: &[(String, f64)],
+) -> Result<usize, String> {
     let cur = promtext::check(current)?;
     if let Some(prev_text) = prev {
         let prev = promtext::check(prev_text).map_err(|e| format!("previous scrape: {e}"))?;
@@ -592,6 +618,18 @@ fn check_metrics(current: &str, prev: Option<&str>) -> Result<usize, String> {
             if cv < pv {
                 return Err(format!("counter `{name}` decreased between scrapes ({pv} -> {cv})"));
             }
+        }
+    }
+    for (name, min) in counter_min {
+        // Accept the dotted registry name and map it to the rendered
+        // series name, so CI asserts on the same spelling the code uses.
+        let series = format!("mlpa_counter_{}_total", promtext::sanitize(name));
+        let value = *cur
+            .samples
+            .get(series.as_str())
+            .ok_or_else(|| format!("counter `{name}` (`{series}`) missing from scrape"))?;
+        if value < *min {
+            return Err(format!("counter `{name}` is {value}, expected at least {min}"));
         }
     }
     Ok(cur.samples.len())
@@ -965,16 +1003,28 @@ mod tests {
 
     #[test]
     fn metrics_scrapes_must_parse_and_counters_must_grow() {
-        assert_eq!(check_metrics(&scrape(100), None).unwrap(), 2);
+        assert_eq!(check_metrics(&scrape(100), None, &[]).unwrap(), 2);
         // Counters up or flat between scrapes: fine. Gauges may move
         // either way and are not compared.
-        assert!(check_metrics(&scrape(250), Some(&scrape(100))).is_ok());
-        assert!(check_metrics(&scrape(100), Some(&scrape(100))).is_ok());
+        assert!(check_metrics(&scrape(250), Some(&scrape(100)), &[]).is_ok());
+        assert!(check_metrics(&scrape(100), Some(&scrape(100)), &[]).is_ok());
         // A shrinking counter is a torn or restarted registry.
-        let err = check_metrics(&scrape(100), Some(&scrape(250))).unwrap_err();
+        let err = check_metrics(&scrape(100), Some(&scrape(250)), &[]).unwrap_err();
         assert!(err.contains("decreased between scrapes"), "{err}");
         // A malformed exposition is rejected outright.
-        assert!(check_metrics("mlpa_counter_x_total 1\n", None).is_err());
+        assert!(check_metrics("mlpa_counter_x_total 1\n", None, &[]).is_err());
+    }
+
+    #[test]
+    fn counter_thresholds_accept_dotted_names() {
+        let met = [("sim.instructions".to_string(), 100.0)];
+        assert!(check_metrics(&scrape(100), None, &met).is_ok());
+        let unmet = [("sim.instructions".to_string(), 101.0)];
+        let err = check_metrics(&scrape(100), None, &unmet).unwrap_err();
+        assert!(err.contains("at least 101"), "{err}");
+        let missing = [("serve.inflight_dedup".to_string(), 1.0)];
+        let err = check_metrics(&scrape(100), None, &missing).unwrap_err();
+        assert!(err.contains("serve.inflight_dedup") && err.contains("missing"), "{err}");
     }
 
     #[test]

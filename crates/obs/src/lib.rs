@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod calibrate;
+pub mod http;
 pub mod json;
 pub mod promtext;
 pub mod selfprofile;

@@ -11,67 +11,32 @@
 //! emits one final sample, so even a run shorter than the interval
 //! produces a complete time-series.
 //!
-//! The **status server** ([`serve_status`]) binds a `TcpListener` and
-//! answers hand-rolled HTTP/1.1 on two paths: `GET /metrics` with the
-//! Prometheus text exposition of the current registries (see
-//! [`crate::promtext`]) and `GET /status` with a small JSON summary
-//! (schema [`crate::STATUS_SCHEMA`]: run phase, benchmark progress,
-//! current segment, uptime ticks, RSS). Port 0 requests an ephemeral
-//! port; the bound address is returned so callers can print it.
+//! The **status server** ([`serve_status`]) answers HTTP/1.1 (via the
+//! shared [`crate::http`] server, which handles each connection on its
+//! own thread with bounded request reads, so a stalled client never
+//! blocks a scrape) on two paths: `GET /metrics` with the Prometheus
+//! text exposition of the current registries (see [`crate::promtext`])
+//! and `GET /status` with a small JSON summary (schema
+//! [`crate::STATUS_SCHEMA`]: run phase, benchmark progress, current
+//! segment, uptime ticks, RSS). Port 0 requests an ephemeral port; the
+//! bound address is returned so callers can print it.
 //!
 //! Without the `enabled` feature everything here is a no-op
 //! ([`serve_status`] reports `Unsupported`), matching the rest of the
 //! crate.
 
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
-
-/// Minimal HTTP/1.1 GET client for tests and smoke scripts: returns
-/// `(status code, body)`. Always compiled (it touches no obs state).
-///
-/// # Errors
-///
-/// Propagates connect/read errors; malformed responses surface as
-/// `InvalidData`.
-pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
-    stream.flush()?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let (head, body) = raw
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-    Ok((status, body.to_string()))
-}
-
-/// Parse an HTTP/1.1 request line into `(method, path)`.
-#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
-fn parse_request_line(line: &str) -> Option<(&str, &str)> {
-    let mut parts = line.split(' ');
-    let method = parts.next()?;
-    let path = parts.next()?;
-    let version = parts.next()?;
-    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
-        return None;
-    }
-    Some((method, path))
-}
+/// Minimal HTTP/1.1 GET client for tests and smoke scripts — a
+/// re-export of [`crate::http::get`], kept here because the status
+/// server's callers historically found it in this module.
+pub use crate::http::get as http_get;
 
 #[cfg(feature = "enabled")]
 mod live {
-    use super::parse_request_line;
+    use crate::http::{self, Response};
     use crate::json;
-    use std::io::{self, BufRead, BufReader, Write};
-    use std::net::{SocketAddr, TcpListener, TcpStream};
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::io;
+    use std::net::SocketAddr;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
     use std::thread::JoinHandle;
     use std::time::{Duration, Instant};
@@ -79,7 +44,7 @@ mod live {
     static TICK: AtomicU64 = AtomicU64::new(0);
     static RUN_PHASE: Mutex<String> = Mutex::new(String::new());
     static SAMPLER: Mutex<Option<Sampler>> = Mutex::new(None);
-    static SERVER: Mutex<Option<Server>> = Mutex::new(None);
+    static SERVER: Mutex<Option<http::Server>> = Mutex::new(None);
     /// Cumulative per-pool busy nanoseconds at the previous tick, plus
     /// its instant, for busy-fraction deltas. Only the sampler thread
     /// and `reset_for_tests` touch this.
@@ -88,12 +53,6 @@ mod live {
 
     struct Sampler {
         stop: Arc<(Mutex<bool>, Condvar)>,
-        handle: JoinHandle<()>,
-    }
-
-    struct Server {
-        addr: SocketAddr,
-        stop: Arc<AtomicBool>,
         handle: JoinHandle<()>,
     }
 
@@ -244,48 +203,12 @@ mod live {
         )
     }
 
-    fn respond(stream: &mut TcpStream, status: &str, ctype: &str, body: &str) -> io::Result<()> {
-        write!(
-            stream,
-            "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n\
-             Connection: close\r\n\r\n{body}",
-            body.len()
-        )?;
-        stream.flush()
-    }
-
-    fn handle_conn(stream: &mut TcpStream) -> io::Result<()> {
-        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut request_line = String::new();
-        reader.read_line(&mut request_line)?;
-        // Drain headers so well-behaved clients see a clean close.
-        let mut header = String::new();
-        while reader.read_line(&mut header)? > 2 {
-            header.clear();
-        }
-        let Some((method, path)) = parse_request_line(request_line.trim_end()) else {
-            return respond(stream, "400 Bad Request", "text/plain", "bad request\n");
-        };
-        if method != "GET" {
-            return respond(stream, "405 Method Not Allowed", "text/plain", "GET only\n");
-        }
-        match path {
-            "/metrics" => respond(
-                stream,
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                &crate::promtext::render_current(),
-            ),
-            "/status" => respond(stream, "200 OK", "application/json", &status_json()),
-            _ => respond(stream, "404 Not Found", "text/plain", "unknown path\n"),
-        }
-    }
-
     /// Bind the status server on `127.0.0.1:port` (0 = ephemeral) and
-    /// serve `/metrics` and `/status` from a background thread until
-    /// [`stop_status_server`]. Idempotent: a second call returns the
-    /// already-bound address.
+    /// serve `/metrics` and `/status` from background threads until
+    /// [`stop_status_server`]. Each connection is handled on its own
+    /// thread with bounded reads (see [`crate::http::serve`]), so a
+    /// slow-loris client cannot delay a concurrent scrape. Idempotent:
+    /// a second call returns the already-bound address.
     ///
     /// # Errors
     ///
@@ -293,38 +216,32 @@ mod live {
     pub fn serve_status(port: u16) -> io::Result<SocketAddr> {
         let mut guard = SERVER.lock().expect("obs server poisoned");
         if let Some(s) = guard.as_ref() {
-            return Ok(s.addr);
+            return Ok(s.addr());
         }
-        let listener = TcpListener::bind(("127.0.0.1", port))?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("obs-status".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if stop2.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if let Ok(mut stream) = conn {
-                        let _ = handle_conn(&mut stream);
-                    }
-                }
-            })
-            .expect("spawn obs-status thread");
-        *guard = Some(Server { addr, stop, handle });
+        let server = http::serve(port, "obs-status", |req| {
+            if req.method != "GET" {
+                return Response::new("405 Method Not Allowed", "text/plain", "GET only\n");
+            }
+            match req.path.as_str() {
+                "/metrics" => Response::ok(
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    crate::promtext::render_current(),
+                ),
+                "/status" => Response::json(status_json()),
+                _ => Response::new("404 Not Found", "text/plain", "unknown path\n"),
+            }
+        })?;
+        let addr = server.addr();
+        *guard = Some(server);
         Ok(addr)
     }
 
-    /// Stop the status server and join its thread (no-op when not
-    /// running).
+    /// Stop the status server and join its accept thread (no-op when
+    /// not running).
     pub fn stop_status_server() {
         let server = SERVER.lock().expect("obs server poisoned").take();
         if let Some(s) = server {
-            s.stop.store(true, Ordering::Relaxed);
-            // Self-connect to wake the blocking accept loop.
-            let _ = TcpStream::connect(s.addr);
-            let _ = s.handle.join();
+            s.stop();
         }
     }
 
@@ -378,17 +295,3 @@ pub use live::{run_phase, serve_status, set_run_phase, stop_status_server, uptim
 
 #[cfg(feature = "enabled")]
 pub(crate) use live::{reset_for_tests, start_sampler, stop_sampler};
-
-#[cfg(test)]
-mod tests {
-    use super::parse_request_line;
-
-    #[test]
-    fn request_line_parses() {
-        assert_eq!(parse_request_line("GET /metrics HTTP/1.1"), Some(("GET", "/metrics")));
-        assert_eq!(parse_request_line("POST /x HTTP/1.0"), Some(("POST", "/x")));
-        assert_eq!(parse_request_line("GET /metrics"), None);
-        assert_eq!(parse_request_line("GET /a b HTTP/1.1"), None);
-        assert_eq!(parse_request_line("GET /metrics SPDY/3"), None);
-    }
-}

@@ -219,3 +219,38 @@ fn status_server_round_trips_metrics_and_status() {
     parse_lines(&sink);
     std::fs::remove_file(&sink).ok();
 }
+
+/// Regression test for the single-threaded accept loop: a slow-loris
+/// client (connects, never sends a request line) used to occupy the
+/// accept thread for the full read timeout, stalling every later
+/// `/metrics` scrape behind it. With per-connection threads the
+/// concurrent scrape must complete promptly.
+#[test]
+fn stalled_connection_does_not_delay_a_concurrent_scrape() {
+    let _g = lock();
+    mlpa_obs::init(&mlpa_obs::ObsConfig { enabled: true, sink: None, sample_ms: None })
+        .expect("init");
+    mlpa_obs::add("test.loris.ops", 3);
+    let addr = mlpa_obs::telemetry::serve_status(0).expect("bind status server");
+
+    // Stalled clients: one silent, one that sends a partial request
+    // line and goes quiet. Both stay open across the scrape.
+    let silent = std::net::TcpStream::connect(addr).expect("connect silent");
+    let mut partial = std::net::TcpStream::connect(addr).expect("connect partial");
+    std::io::Write::write_all(&mut partial, b"GET /met").expect("partial write");
+
+    let t0 = std::time::Instant::now();
+    let (code, scrape) = mlpa_obs::telemetry::http_get(addr, "/metrics").expect("GET /metrics");
+    let elapsed = t0.elapsed();
+    assert_eq!(code, 200);
+    assert!(scrape.contains("mlpa_counter_test_loris_ops_total 3"), "scrape content: {scrape}");
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "scrape stalled behind a slow-loris connection: {elapsed:?}"
+    );
+
+    drop(silent);
+    drop(partial);
+    mlpa_obs::telemetry::stop_status_server();
+    mlpa_obs::finish();
+}
